@@ -1,0 +1,72 @@
+// Experiment F2 -- WFGD (section 5) message complexity.
+//
+// After a detection, the WFGD computation pushes growing edge sets
+// backwards along black edges until every deadlocked vertex knows all
+// permanent black paths leading from it.  We sweep the size of the
+// deadlocked portion (cycle length + attached tails) and count messages
+// and bytes, confirming termination and the polynomial growth the
+// "never send the same message twice" rule implies.
+#include "graph/generators.h"
+#include "runtime/sim_cluster.h"
+#include "runtime/workload.h"
+#include "table.h"
+
+namespace {
+
+using namespace cmh;
+using bench::fmt;
+
+void run() {
+  bench::Table table(
+      "F2: WFGD propagation cost vs deadlocked-portion size",
+      {"cycle L", "tails", "deadlocked vertices", "wfgd messages",
+       "wfgd edges learned (max)", "informed vertices"});
+
+  struct Case {
+    std::uint32_t n;
+    std::uint32_t cycle;
+    std::uint32_t tails;
+  };
+  const std::vector<Case> cases = {
+      {4, 2, 0},   {8, 4, 4},    {16, 8, 8},   {32, 16, 16},
+      {64, 32, 32}, {128, 64, 64}, {128, 16, 112}, {256, 8, 248},
+  };
+
+  for (const Case& c : cases) {
+    core::Options options;
+    options.initiation = core::InitiationMode::kManual;
+    options.propagate_wfgd = true;
+    runtime::SimCluster cluster(c.n, options, 5);
+    runtime::issue_scenario(
+        cluster, graph::make_ring_with_tails(c.n, c.cycle, c.tails, 9));
+    cluster.run();
+    (void)cluster.process(ProcessId{0}).initiate();
+    cluster.run();  // terminates => WFGD terminated
+
+    const auto stats = cluster.total_stats();
+    std::size_t informed = 0;
+    std::size_t max_edges = 0;
+    for (std::uint32_t i = 0; i < c.n; ++i) {
+      const auto& p = cluster.process(ProcessId{i});
+      if (!p.wfgd_edges().empty()) {
+        ++informed;
+        max_edges = std::max(max_edges, p.wfgd_edges().size());
+      }
+    }
+    table.row({fmt(c.cycle), fmt(c.tails), fmt(c.cycle),
+               fmt(stats.wfgd_messages_sent), fmt(max_edges), fmt(informed)});
+  }
+  table.print();
+  std::printf(
+      "Expected shape: messages grow roughly with (cycle + tails) times the\n"
+      "path depth; every vertex with a black path into the cycle ends up\n"
+      "informed; the run terminating at all is the section-5 termination\n"
+      "claim made executable.\n");
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

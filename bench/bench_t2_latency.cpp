@@ -1,0 +1,51 @@
+// Experiment T2 -- detection latency vs cycle length.
+//
+// The probe must travel the whole cycle (L hops), so with a fixed per-hop
+// delay distribution the detection latency grows linearly in L.
+#include "graph/generators.h"
+#include "runtime/sim_cluster.h"
+#include "runtime/workload.h"
+#include "table.h"
+
+namespace {
+
+using namespace cmh;
+using bench::fmt;
+
+void run() {
+  bench::Table table(
+      "T2: detection latency vs cycle length (fixed per-hop delay 100us)",
+      {"cycle L", "latency (ms)", "latency / L (us)", "probes"});
+
+  for (const std::uint32_t len : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    core::Options options;
+    options.initiation = core::InitiationMode::kManual;
+    options.propagate_wfgd = false;
+    runtime::SimCluster cluster(len, options, 7,
+                                sim::DelayModel::fixed(SimTime::us(100)));
+    runtime::issue_scenario(cluster, graph::make_ring(len, len));
+    cluster.run();
+
+    const SimTime start = cluster.simulator().now();
+    (void)cluster.process(ProcessId{0}).initiate();
+    cluster.run();
+    if (cluster.detections().empty()) {
+      table.row({fmt(len), "MISSED", "-", "-"});
+      continue;
+    }
+    const SimTime latency = cluster.detections()[0].at - start;
+    table.row({fmt(len), bench::fmt(latency.seconds() * 1e3, 3),
+               bench::fmt(static_cast<double>(latency.micros) / len, 1),
+               fmt(cluster.total_stats().probes_sent)});
+  }
+  table.print();
+  std::printf("Expected shape: latency linear in L (constant latency/L "
+              "close to the per-hop delay).\n");
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Experiment T5 -- DDB throughput under contention: CMH detection+abort vs
+// client lock-wait timeouts.
+//
+// The paper's section 6 motivates detection with the DDB locking workload;
+// this bench makes the operational payoff concrete.  The same transaction
+// mix runs with (a) CMH probes aborting true victims, and (b) no detection,
+// clients aborting themselves after a timeout.  Timeouts either fire too
+// early (aborting live transactions -- wasted work) or too late (wedged
+// lock queues) depending on contention; CMH aborts exactly the deadlocked.
+#include "ddb/cluster.h"
+#include "ddb/workload.h"
+#include "table.h"
+
+namespace {
+
+using namespace cmh;
+using namespace cmh::ddb;
+using bench::fmt;
+
+struct Outcome {
+  std::uint64_t committed{0};
+  std::uint64_t aborted{0};
+  std::uint64_t given_up{0};
+  double virtual_ms{0};
+  std::uint64_t probes{0};
+};
+
+Outcome run_once(std::uint32_t hot_set, bool use_cmh, std::uint64_t seed) {
+  DdbOptions options;
+  if (use_cmh) {
+    options.initiation = DdbInitiation::kDelayed;
+    options.initiation_delay = SimTime::ms(2);
+    options.abort_victim = true;
+  } else {
+    options.initiation = DdbInitiation::kManual;  // no probes at all
+    options.abort_victim = false;
+  }
+  Cluster db({.n_sites = 4,
+              .n_resources = hot_set,
+              .options = options,
+              .seed = seed});
+  TxnScriptConfig cfg;
+  cfg.locks_per_txn = 3;
+  cfg.write_fraction = 0.8;
+  cfg.hot_set = hot_set;
+  cfg.hold_time = SimTime::ms(2);
+  cfg.max_retries = 25;
+  if (!use_cmh) cfg.lock_wait_timeout = SimTime::ms(12);
+  TxnWorkload workload(db, cfg, seed * 7 + 3);
+  workload.start(24);
+  const SimTime end = db.simulator().run();
+
+  Outcome o;
+  o.committed = workload.result().committed;
+  o.aborted = workload.result().aborted;
+  o.given_up = workload.result().given_up;
+  o.virtual_ms = end.seconds() * 1e3;
+  o.probes = db.total_stats().probes_sent;
+  return o;
+}
+
+void run() {
+  bench::Table table(
+      "T5: DDB throughput under contention -- CMH detection vs client "
+      "timeouts (4 sites, 24 transactions, 3 write-heavy locks each)",
+      {"hot set", "strategy", "committed", "aborted", "given up",
+       "makespan (ms)", "commit/s (virt)", "probes"});
+
+  for (const std::uint32_t hot : {32u, 16u, 8u, 4u}) {
+    for (const bool use_cmh : {true, false}) {
+      Outcome sum;
+      constexpr int kSeeds = 3;
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const Outcome o = run_once(hot, use_cmh, seed);
+        sum.committed += o.committed;
+        sum.aborted += o.aborted;
+        sum.given_up += o.given_up;
+        sum.virtual_ms += o.virtual_ms;
+        sum.probes += o.probes;
+      }
+      const double throughput =
+          sum.virtual_ms > 0
+              ? static_cast<double>(sum.committed) / (sum.virtual_ms / 1e3)
+              : 0;
+      table.row({fmt(hot), use_cmh ? "cmh" : "timeout",
+                 fmt(sum.committed / kSeeds), fmt(sum.aborted / kSeeds),
+                 fmt(sum.given_up / kSeeds),
+                 bench::fmt(sum.virtual_ms / kSeeds, 1),
+                 bench::fmt(throughput, 1), fmt(sum.probes / kSeeds)});
+    }
+  }
+  table.print();
+  std::printf(
+      "Expected shape: at low contention (large hot set) the strategies\n"
+      "tie.  As contention rises, timeouts abort more transactions (many of\n"
+      "them live = wasted work) and stretch the makespan, while CMH aborts\n"
+      "only true victims and keeps throughput higher.\n");
+}
+
+}  // namespace
+
+int main() {
+  run();
+  return 0;
+}

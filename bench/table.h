@@ -1,0 +1,70 @@
+// Minimal fixed-width table printer shared by the experiment harnesses.
+// Each bench binary prints the rows/series of one constructed experiment
+// (see DESIGN.md section 6 and EXPERIMENTS.md).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace cmh::bench {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void row(std::initializer_list<std::string> cells) {
+    rows_.emplace_back(cells);
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths;
+    widths.reserve(columns_.size());
+    for (const auto& c : columns_) widths.push_back(c.size());
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], r[i].size());
+      }
+    }
+    std::printf("\n=== %s ===\n", title_.c_str());
+    print_row(columns_, widths);
+    std::size_t total = 1;
+    for (const auto w : widths) total += w + 3;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& r : rows_) print_row(r, widths);
+    std::printf("\n");
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& widths) {
+    std::printf("|");
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+template <typename T>
+  requires std::is_integral_v<T>
+inline std::string fmt(T v) {
+  return std::to_string(v);
+}
+
+}  // namespace cmh::bench

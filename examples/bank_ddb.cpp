@@ -1,0 +1,86 @@
+// A distributed bank: the workload the paper's DDB model (section 6) was
+// built for.  Transfer transactions lock two account records (often at
+// different branches/sites) in arbitrary order, which is a deadlock factory;
+// the controllers detect victims with probe computations and abort them, and
+// the client layer retries.  Compare the summary with detection disabled to
+// see why a DDB cannot ship without this.
+//
+//   $ ./bank_ddb
+#include <cstdio>
+
+#include "ddb/cluster.h"
+#include "ddb/workload.h"
+
+using namespace cmh;
+using namespace cmh::ddb;
+
+namespace {
+
+struct Summary {
+  WorkloadResult result;
+  ControllerStats stats;
+  double makespan_ms{0};
+  std::size_t detections{0};
+};
+
+Summary run_bank(bool detection_enabled) {
+  DdbOptions options;
+  if (detection_enabled) {
+    options.initiation = DdbInitiation::kDelayed;
+    options.initiation_delay = SimTime::ms(2);
+    options.abort_victim = true;
+  } else {
+    options.initiation = DdbInitiation::kManual;
+    options.abort_victim = false;
+  }
+
+  // 4 branches, 24 hot account records, 30 concurrent transfers.
+  Cluster bank({.n_sites = 4,
+                .n_resources = 24,
+                .options = options,
+                .seed = 11});
+  TxnScriptConfig cfg;
+  cfg.locks_per_txn = 2;        // debit account + credit account
+  cfg.write_fraction = 1.0;     // transfers write both records
+  cfg.hot_set = 24;
+  cfg.hold_time = SimTime::ms(1);
+  cfg.max_retries = 20;
+  if (!detection_enabled) {
+    cfg.lock_wait_timeout = SimTime::ms(15);  // the pre-CMH fallback
+  }
+  TxnWorkload workload(bank, cfg, 12);
+  workload.start(30);
+  const SimTime end = bank.simulator().run();
+
+  return Summary{workload.result(), bank.total_stats(),
+                 end.seconds() * 1e3, bank.detections().size()};
+}
+
+void print(const char* label, const Summary& s) {
+  std::printf("%s\n", label);
+  std::printf("  committed: %llu   aborted: %llu   gave up: %llu\n",
+              static_cast<unsigned long long>(s.result.committed),
+              static_cast<unsigned long long>(s.result.aborted),
+              static_cast<unsigned long long>(s.result.given_up));
+  std::printf("  makespan: %.1f ms (virtual)   deadlocks declared: %zu   "
+              "probes: %llu\n\n",
+              s.makespan_ms, s.detections,
+              static_cast<unsigned long long>(s.stats.probes_sent));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("30 concurrent transfers over 4 branches, 24 hot accounts\n\n");
+  const Summary with_cmh = run_bank(/*detection_enabled=*/true);
+  print("with CMH probe detection + victim abort:", with_cmh);
+  const Summary with_timeouts = run_bank(/*detection_enabled=*/false);
+  print("without detection (15ms client lock timeouts):", with_timeouts);
+
+  std::printf("Deadlock victims are aborted within a couple of message\n"
+              "round-trips instead of a full timeout, and only true victims\n"
+              "are aborted -- fewer retries, shorter makespan.\n");
+  const bool healthy =
+      with_cmh.result.committed + with_cmh.result.given_up == 30;
+  return healthy ? 0 : 1;
+}

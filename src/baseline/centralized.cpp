@@ -1,0 +1,100 @@
+#include "baseline/centralized.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace cmh::baseline {
+
+CentralizedDetector::CentralizedDetector(runtime::SimCluster& cluster,
+                                         SimTime report_period,
+                                         bool consistent_snapshots)
+    : cluster_(cluster),
+      period_(report_period),
+      consistent_(consistent_snapshots) {}
+
+void CentralizedDetector::start() {
+  if (stopped_) return;
+  if (consistent_) {
+    // One synchronized snapshot of every process per period.
+    cluster_.simulator().schedule(period_, [this] {
+      if (stopped_) return;
+      for (std::uint32_t i = 0; i < cluster_.size(); ++i) {
+        const ProcessId p{i};
+        const auto& waits = cluster_.process(p).waits_for();
+        deliver_report(p, {waits.begin(), waits.end()});
+      }
+      check_cycles();
+      start();  // re-arm
+    });
+    return;
+  }
+  // Staggered: every process reports on its own phase-shifted schedule.
+  for (std::uint32_t i = 0; i < cluster_.size(); ++i) {
+    const ProcessId p{i};
+    const auto phase = SimTime::us(
+        (period_.micros * static_cast<std::int64_t>(i)) /
+        std::max<std::int64_t>(1, cluster_.size()));
+    cluster_.simulator().schedule(phase, [this, p] { schedule_report(p); });
+  }
+}
+
+void CentralizedDetector::schedule_report(ProcessId p) {
+  if (stopped_) return;
+  // Snapshot the local out-edge set now; the report reaches the coordinator
+  // after a network delay, during which the world may move on -- that skew
+  // is the source of phantom deadlocks.
+  const auto& waits = cluster_.process(p).waits_for();
+  std::vector<ProcessId> edges{waits.begin(), waits.end()};
+  ++messages_;
+  bytes_ += 4 + 4 * edges.size();
+  const SimTime delay = SimTime::us(
+      50 + static_cast<std::int64_t>((p.value() * 97 + messages_ * 31) % 450));
+  cluster_.simulator().schedule(
+      delay, [this, p, e = std::move(edges)]() mutable {
+        deliver_report(p, std::move(e));
+        check_cycles();
+      });
+  cluster_.simulator().schedule(period_, [this, p] { schedule_report(p); });
+}
+
+void CentralizedDetector::deliver_report(ProcessId p,
+                                         std::vector<ProcessId> out_edges) {
+  view_[p] = std::move(out_edges);
+}
+
+void CentralizedDetector::check_cycles() {
+  // For each vertex, search for a cycle through it in the coordinator's
+  // (possibly skewed) view; report each distinct cycle member-set once.
+  for (const auto& [v, out] : view_) {
+    (void)out;
+    // BFS from v's successors back to v.
+    std::unordered_map<ProcessId, ProcessId> parent;
+    std::deque<ProcessId> frontier;
+    const auto vit = view_.find(v);
+    for (const ProcessId s : vit->second) {
+      if (parent.emplace(s, v).second) frontier.push_back(s);
+    }
+    std::vector<ProcessId> cycle;
+    while (!frontier.empty() && cycle.empty()) {
+      const ProcessId u = frontier.front();
+      frontier.pop_front();
+      const auto uit = view_.find(u);
+      if (uit == view_.end()) continue;
+      for (const ProcessId w : uit->second) {
+        if (w == v) {
+          cycle.push_back(v);
+          for (ProcessId x = u; x != v; x = parent.at(x)) cycle.push_back(x);
+          break;
+        }
+        if (parent.emplace(w, u).second) frontier.push_back(w);
+      }
+    }
+    if (cycle.empty()) continue;
+    std::sort(cycle.begin(), cycle.end());
+    if (!reported_.insert(cycle).second) continue;
+    detections_.push_back(BaselineDetection{
+        v, cluster_.simulator().now(), cluster_.oracle().on_dark_cycle(v)});
+  }
+}
+
+}  // namespace cmh::baseline

@@ -1,0 +1,65 @@
+// Centralized snapshot deadlock detector (baseline).
+//
+// The classical pre-CMH design (Gray 78; the scheme Menasce-Muntz and
+// Gligor-Shattuck analyze): every process periodically reports its outgoing
+// wait-for edges to a coordinator, which assembles a global wait-for graph
+// and searches it for cycles.
+//
+// Two variants:
+//   * staggered (default) -- each process reports on its own schedule, so
+//     the coordinator's graph mixes observations from different instants.
+//     Under churn this produces *phantom deadlocks* (a stale edge plus a
+//     fresh reverse edge close a cycle that never existed globally).
+//   * consistent -- all processes report at the same virtual instant (an
+//     idealized stop-the-world snapshot); no phantoms, but unimplementable
+//     in a real distributed system without extra machinery.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+
+#include "baseline/detector.h"
+
+namespace cmh::baseline {
+
+class CentralizedDetector final : public Detector {
+ public:
+  CentralizedDetector(runtime::SimCluster& cluster, SimTime report_period,
+                      bool consistent_snapshots = false);
+
+  void start() override;
+
+  /// Stops re-arming periodic reports (lets the simulator drain to idle).
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] const std::vector<BaselineDetection>& detections()
+      const override {
+    return detections_;
+  }
+  [[nodiscard]] std::uint64_t messages_sent() const override {
+    return messages_;
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const override { return bytes_; }
+
+ private:
+  void schedule_report(ProcessId p);
+  void deliver_report(ProcessId p, std::vector<ProcessId> out_edges);
+  void check_cycles();
+
+  runtime::SimCluster& cluster_;
+  SimTime period_;
+  bool consistent_;
+
+  // Coordinator state: the last reported out-edge set per process.
+  std::unordered_map<ProcessId, std::vector<ProcessId>> view_;
+  // Cycles already reported (as sorted member sets), to avoid re-reporting
+  // the same wedged cycle every period.
+  std::set<std::vector<ProcessId>> reported_;
+
+  std::vector<BaselineDetection> detections_;
+  bool stopped_{false};
+  std::uint64_t messages_{0};
+  std::uint64_t bytes_{0};
+};
+
+}  // namespace cmh::baseline

@@ -1,0 +1,53 @@
+// Common interface for the baseline deadlock detectors used in the
+// comparison experiments (bench_t3).
+//
+// Each baseline layers *on top of* a SimCluster whose BasicProcess instances
+// run with InitiationMode::kManual (no CMH probes), so all detectors see the
+// identical underlying request/reply workload.  Detectors keep their own
+// message/byte counters (their traffic shares the simulator but must be
+// attributed separately).
+//
+// Every detection is validated against the cluster's ground-truth oracle at
+// the instant of detection, so benches can report phantom (false) deadlock
+// rates -- the failure mode the paper's introduction quotes Gligor &
+// Shattuck on.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "runtime/sim_cluster.h"
+
+namespace cmh::baseline {
+
+struct BaselineDetection {
+  ProcessId process;  // a member of the reported cycle
+  SimTime at;
+  bool real;  // oracle-confirmed dark cycle at detection time
+};
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Installs hooks / schedules periodic work.  Call once before running
+  /// the simulator.
+  virtual void start() = 0;
+
+  [[nodiscard]] virtual const std::vector<BaselineDetection>& detections()
+      const = 0;
+  [[nodiscard]] virtual std::uint64_t messages_sent() const = 0;
+  [[nodiscard]] virtual std::uint64_t bytes_sent() const = 0;
+
+  [[nodiscard]] std::size_t real_detections() const {
+    std::size_t n = 0;
+    for (const auto& d : detections()) n += d.real ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] std::size_t phantom_detections() const {
+    return detections().size() - real_detections();
+  }
+};
+
+}  // namespace cmh::baseline

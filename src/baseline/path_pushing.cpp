@@ -1,0 +1,102 @@
+#include "baseline/path_pushing.h"
+
+#include <algorithm>
+
+namespace cmh::baseline {
+
+namespace {
+
+/// Canonical rotation of a cycle member sequence (smallest id first), so the
+/// same cycle discovered from different entry points dedups.
+std::vector<ProcessId> canonical_cycle(const std::vector<ProcessId>& cycle) {
+  const auto min_it = std::min_element(cycle.begin(), cycle.end());
+  std::vector<ProcessId> rotated;
+  rotated.reserve(cycle.size());
+  rotated.insert(rotated.end(), min_it, cycle.end());
+  rotated.insert(rotated.end(), cycle.begin(), min_it);
+  return rotated;
+}
+
+}  // namespace
+
+PathPushingDetector::PathPushingDetector(runtime::SimCluster& cluster,
+                                         SimTime round_period,
+                                         bool ordered_push)
+    : cluster_(cluster), period_(round_period), ordered_push_(ordered_push) {}
+
+void PathPushingDetector::start() {
+  if (stopped_) return;
+  cluster_.simulator().schedule(period_, [this] {
+    if (stopped_) return;
+    round();
+    start();  // re-arm
+  });
+}
+
+void PathPushingDetector::round() {
+  for (std::uint32_t i = 0; i < cluster_.size(); ++i) push_from(ProcessId{i});
+}
+
+void PathPushingDetector::push_from(ProcessId p) {
+  const auto& proc = cluster_.process(p);
+  if (proc.waits_for().empty()) {
+    // Active process: its stale knowledge is dropped (it cannot be part of
+    // a deadlock right now).
+    known_.erase(p);
+    return;
+  }
+
+  // Paths to push: everything we know ending at p, plus the trivial [p].
+  std::vector<Path> outgoing{{p}};
+  const auto it = known_.find(p);
+  if (it != known_.end()) {
+    for (const Path& path : it->second) outgoing.push_back(path);
+  }
+
+  for (const ProcessId succ : proc.waits_for()) {
+    std::vector<Path> to_send;
+    for (const Path& path : outgoing) {
+      if (ordered_push_ && !path.empty() && !(p > path.front()) &&
+          path.size() > 1) {
+        continue;  // Obermarck: only the largest-id entry point forwards
+      }
+      to_send.push_back(path);
+    }
+    if (to_send.empty()) continue;
+    ++messages_;
+    for (const Path& path : to_send) bytes_ += 4 * path.size() + 4;
+    const SimTime delay = SimTime::us(
+        50 +
+        static_cast<std::int64_t>((p.value() * 131 + messages_ * 17) % 450));
+    cluster_.simulator().schedule(
+        delay, [this, p, succ, paths = std::move(to_send)]() mutable {
+          deliver(p, succ, std::move(paths));
+        });
+  }
+}
+
+void PathPushingDetector::deliver(ProcessId from, ProcessId to,
+                                  std::vector<Path> paths) {
+  // Accept only along a black edge (the receiver holds the sender's
+  // request), mirroring the meaningful-probe check.
+  if (!cluster_.process(to).held_requests().contains(from)) return;
+
+  auto& mine = known_[to];
+  for (Path& path : paths) {
+    const auto self = std::find(path.begin(), path.end(), to);
+    if (self != path.end()) {
+      // Cycle: [self .. end] closes back on `to`.
+      std::vector<ProcessId> cycle{self, path.end()};
+      auto canon = canonical_cycle(cycle);
+      if (!reported_.insert(canon).second) continue;
+      detections_.push_back(BaselineDetection{
+          to, cluster_.simulator().now(),
+          cluster_.oracle().on_dark_cycle(to)});
+      continue;
+    }
+    path.push_back(to);
+    mine.insert(std::move(path));
+  }
+}
+
+}  // namespace cmh::baseline

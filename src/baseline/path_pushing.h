@@ -1,0 +1,64 @@
+// Path-pushing deadlock detector (Obermarck-style baseline).
+//
+// Each blocked process periodically pushes the wait paths it knows about
+// (sequences of process ids ending at itself) to its wait-for successors.
+// A receiver extends each path with itself; a path that already contains
+// the receiver is a cycle.  Paths are accepted only along edges that are
+// black at receipt (same local check the CMH probe uses), but path *content*
+// can still be stale -- edges recorded upstream may have dissolved by the
+// time the path closes, which is exactly the phantom-deadlock weakness
+// Gligor & Shattuck identified in algorithms of this family.
+//
+// With `ordered_push` set (Obermarck's optimization), a process forwards a
+// path only if its own id is greater than the path's first id, roughly
+// halving traffic while still guaranteeing that some process on each cycle
+// completes it.
+#pragma once
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/detector.h"
+
+namespace cmh::baseline {
+
+class PathPushingDetector final : public Detector {
+ public:
+  PathPushingDetector(runtime::SimCluster& cluster, SimTime round_period,
+                      bool ordered_push = false);
+
+  void start() override;
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] const std::vector<BaselineDetection>& detections()
+      const override {
+    return detections_;
+  }
+  [[nodiscard]] std::uint64_t messages_sent() const override {
+    return messages_;
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const override { return bytes_; }
+
+ private:
+  using Path = std::vector<ProcessId>;
+
+  void round();
+  void push_from(ProcessId p);
+  void deliver(ProcessId from, ProcessId to, std::vector<Path> paths);
+
+  runtime::SimCluster& cluster_;
+  SimTime period_;
+  bool ordered_push_;
+  bool stopped_{false};
+
+  // Paths ending at each process, as learnt so far.
+  std::unordered_map<ProcessId, std::set<Path>> known_;
+
+  std::set<Path> reported_;  // canonical (rotated) cycles already reported
+  std::vector<BaselineDetection> detections_;
+  std::uint64_t messages_{0};
+  std::uint64_t bytes_{0};
+};
+
+}  // namespace cmh::baseline

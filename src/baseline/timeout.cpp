@@ -1,0 +1,40 @@
+#include "baseline/timeout.h"
+
+namespace cmh::baseline {
+
+TimeoutDetector::TimeoutDetector(runtime::SimCluster& cluster, SimTime timeout)
+    : cluster_(cluster),
+      timeout_(timeout),
+      poll_period_(SimTime::us(std::max<std::int64_t>(1, timeout.micros / 4))) {
+}
+
+void TimeoutDetector::start() {
+  if (stopped_) return;
+  cluster_.simulator().schedule(poll_period_, [this] {
+    if (stopped_) return;
+    poll();
+    start();  // re-arm
+  });
+}
+
+void TimeoutDetector::poll() {
+  const SimTime now = cluster_.simulator().now();
+  for (std::uint32_t i = 0; i < cluster_.size(); ++i) {
+    const ProcessId p{i};
+    const bool blocked = cluster_.process(p).blocked();
+    if (!blocked) {
+      blocked_since_.erase(p);
+      already_reported_[p] = false;
+      continue;
+    }
+    const auto [it, fresh] = blocked_since_.emplace(p, now);
+    if (fresh) continue;
+    if (now - it->second >= timeout_ && !already_reported_[p]) {
+      already_reported_[p] = true;
+      detections_.push_back(
+          BaselineDetection{p, now, cluster_.oracle().on_dark_cycle(p)});
+    }
+  }
+}
+
+}  // namespace cmh::baseline

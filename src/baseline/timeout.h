@@ -1,0 +1,44 @@
+// Timeout-based "deadlock detection" (baseline).
+//
+// No messages at all: a process that has been continuously blocked for
+// longer than `timeout` is presumed deadlocked.  Cheap, but inherently
+// unsound -- any long wait chain trips it.  bench_t3 reports its phantom
+// rate next to CMH's provable zero.
+#pragma once
+
+#include <unordered_map>
+
+#include "baseline/detector.h"
+
+namespace cmh::baseline {
+
+class TimeoutDetector final : public Detector {
+ public:
+  TimeoutDetector(runtime::SimCluster& cluster, SimTime timeout);
+
+  void start() override;
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] const std::vector<BaselineDetection>& detections()
+      const override {
+    return detections_;
+  }
+  [[nodiscard]] std::uint64_t messages_sent() const override { return 0; }
+  [[nodiscard]] std::uint64_t bytes_sent() const override { return 0; }
+
+ private:
+  void poll();
+
+  runtime::SimCluster& cluster_;
+  SimTime timeout_;
+  SimTime poll_period_;
+  bool stopped_{false};
+
+  // Virtual time at which each process most recently became blocked.
+  std::unordered_map<ProcessId, SimTime> blocked_since_;
+  std::unordered_map<ProcessId, bool> already_reported_;
+
+  std::vector<BaselineDetection> detections_;
+};
+
+}  // namespace cmh::baseline

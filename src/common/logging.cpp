@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace cmh {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+void log_line(LogLevel level, std::string_view tag, const std::string& msg) {
+  using namespace std::chrono;
+  const auto us =
+      duration_cast<microseconds>(steady_clock::now().time_since_epoch())
+          .count();
+  std::scoped_lock lock(g_mutex);
+  std::fprintf(stderr, "%s %lld.%06lld [%.*s] %s\n", level_name(level),
+               static_cast<long long>(us / 1000000),
+               static_cast<long long>(us % 1000000),
+               static_cast<int>(tag.size()), tag.data(), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace cmh

@@ -1,0 +1,75 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic behaviour in the library (simulated message delays,
+// workload generation) flows through SplitMix64 so that every test,
+// example and benchmark is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cmh {
+
+/// SplitMix64 -- tiny, fast, high-quality 64-bit PRNG.  Satisfies
+/// std::uniform_random_bit_generator so it can drive <random> distributions,
+/// though the helpers below avoid distribution objects for exact cross-
+/// platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound).  bound must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  constexpr bool chance(double p) { return uniform() < p; }
+
+  /// Derive an independent child generator (for per-entity streams).
+  constexpr Rng fork() { return Rng((*this)()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cmh

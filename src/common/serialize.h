@@ -1,0 +1,129 @@
+// Tiny self-describing binary serialization used for all wire messages.
+//
+// Fixed-width little-endian integers; length-prefixed containers.  Readers
+// return Status on truncation/corruption rather than throwing, because a
+// malformed frame from a peer is a runtime condition, not a bug.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+
+namespace cmh {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class Writer {
+ public:
+  [[nodiscard]] const Bytes& bytes() const { return out_; }
+  [[nodiscard]] Bytes take() && { return std::move(out_); }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back((v >> (8 * i)) & 0xff);
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back((v >> (8 * i)) & 0xff);
+  }
+
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  template <typename Tag, typename Rep>
+  void id(StrongId<Tag, Rep> v) {
+    u32(static_cast<std::uint32_t>(v.value()));
+  }
+
+  void agent(const AgentId& a) {
+    id(a.transaction);
+    id(a.site);
+  }
+
+  void probe_tag(const ProbeTag& t) {
+    id(t.initiator);
+    u64(t.sequence);
+  }
+
+ private:
+  Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == size_; }
+
+  Status u8(std::uint8_t& v) {
+    if (remaining() < 1) return truncated();
+    v = data_[pos_++];
+    return Status::Ok();
+  }
+
+  Status u32(std::uint32_t& v) {
+    if (remaining() < 4) return truncated();
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    }
+    return Status::Ok();
+  }
+
+  Status u64(std::uint64_t& v) {
+    if (remaining() < 8) return truncated();
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return Status::Ok();
+  }
+
+  Status str(std::string& s) {
+    std::uint32_t n = 0;
+    if (auto st = u32(n); !st.ok()) return st;
+    if (remaining() < n) return truncated();
+    s.assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  template <typename Tag, typename Rep>
+  Status id(StrongId<Tag, Rep>& v) {
+    std::uint32_t raw = 0;
+    if (auto st = u32(raw); !st.ok()) return st;
+    v = StrongId<Tag, Rep>(static_cast<Rep>(raw));
+    return Status::Ok();
+  }
+
+  Status agent(AgentId& a) {
+    if (auto st = id(a.transaction); !st.ok()) return st;
+    return id(a.site);
+  }
+
+  Status probe_tag(ProbeTag& t) {
+    if (auto st = id(t.initiator); !st.ok()) return st;
+    return u64(t.sequence);
+  }
+
+ private:
+  static Status truncated() {
+    return {StatusCode::kInvalidArgument, "truncated message"};
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_{0};
+};
+
+}  // namespace cmh

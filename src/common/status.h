@@ -1,0 +1,102 @@
+// Lightweight Status / Result types for recoverable errors (network
+// failures, malformed frames).  Programmer errors and axiom violations are
+// reported via exceptions / assertions instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cmh {
+
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnavailable,
+  kDeadlineExceeded,
+  kAborted,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "OK";
+    return std::string(cmh::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_{StatusCode::kOk};
+  std::string message_;
+};
+
+/// Thrown when `Result::value()` is called on an error result.
+class BadResultAccess : public std::logic_error {
+ public:
+  explicit BadResultAccess(const Status& status)
+      : std::logic_error("Result has no value: " + status.to_string()) {}
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : state_(std::move(status)) {
+    if (std::get<Status>(state_).ok()) {
+      throw std::logic_error("Result constructed from OK status");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(state_); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw BadResultAccess(status());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    if (!ok()) throw BadResultAccess(status());
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(state_);
+  }
+
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace cmh

@@ -1,0 +1,62 @@
+// Time representation shared by the simulator (virtual time) and the
+// threaded runtimes (wall-clock mapped onto the same type).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+
+namespace cmh {
+
+/// Microsecond-resolution timestamp/duration.  In the simulator this is
+/// virtual time starting at 0; in the threaded runtime it is steady-clock
+/// time since runtime start.
+struct SimTime {
+  std::int64_t micros{0};
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return {a.micros + b.micros};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return {a.micros - b.micros};
+  }
+
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(micros) * 1e-6;
+  }
+
+  static constexpr SimTime zero() { return {0}; }
+  static constexpr SimTime us(std::int64_t v) { return {v}; }
+  static constexpr SimTime ms(std::int64_t v) { return {v * 1000}; }
+  static constexpr SimTime sec(std::int64_t v) { return {v * 1000000}; }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.micros << "us";
+  }
+};
+
+/// Abstract clock so algorithm-level code (e.g. the delayed-T initiation
+/// policy) can run unchanged in the simulator and on real threads.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual SimTime now() const = 0;
+};
+
+/// Wall clock mapped to SimTime (micros since construction).
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] SimTime now() const override {
+    const auto d = std::chrono::steady_clock::now() - start_;
+    return SimTime::us(
+        std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cmh

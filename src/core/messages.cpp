@@ -1,0 +1,74 @@
+#include "core/messages.h"
+
+namespace cmh::core {
+
+namespace {
+enum WireType : std::uint8_t {
+  kRequest = 1,
+  kReply = 2,
+  kProbe = 3,
+  kWfgd = 4,
+};
+}  // namespace
+
+Bytes encode(const Message& msg) {
+  Writer w;
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RequestMsg>) {
+          w.u8(kRequest);
+        } else if constexpr (std::is_same_v<T, ReplyMsg>) {
+          w.u8(kReply);
+        } else if constexpr (std::is_same_v<T, ProbeMsg>) {
+          w.u8(kProbe);
+          w.probe_tag(m.tag);
+        } else if constexpr (std::is_same_v<T, WfgdMsg>) {
+          w.u8(kWfgd);
+          w.u32(static_cast<std::uint32_t>(m.edges.size()));
+          for (const graph::Edge& e : m.edges) {
+            w.id(e.from);
+            w.id(e.to);
+          }
+        }
+      },
+      msg);
+  return std::move(w).take();
+}
+
+Result<Message> decode(const Bytes& payload) {
+  Reader r(payload);
+  std::uint8_t type = 0;
+  if (auto st = r.u8(type); !st.ok()) return st;
+  switch (type) {
+    case kRequest:
+      return Message{RequestMsg{}};
+    case kReply:
+      return Message{ReplyMsg{}};
+    case kProbe: {
+      ProbeMsg m;
+      if (auto st = r.probe_tag(m.tag); !st.ok()) return st;
+      return Message{m};
+    }
+    case kWfgd: {
+      WfgdMsg m;
+      std::uint32_t n = 0;
+      if (auto st = r.u32(n); !st.ok()) return st;
+      if (static_cast<std::uint64_t>(n) * 8 > r.remaining()) {
+        return Status{StatusCode::kInvalidArgument, "wfgd: bad edge count"};
+      }
+      m.edges.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        graph::Edge e;
+        if (auto st = r.id(e.from); !st.ok()) return st;
+        if (auto st = r.id(e.to); !st.ok()) return st;
+        m.edges.push_back(e);
+      }
+      return Message{m};
+    }
+    default:
+      return Status{StatusCode::kInvalidArgument, "unknown message type"};
+  }
+}
+
+}  // namespace cmh::core

@@ -1,0 +1,48 @@
+// Wire messages of the basic model.
+//
+// Requests and replies belong to the *underlying* computation (they move
+// wait-for edges through grey -> black -> white); probes and WFGD edge-set
+// messages belong to the *detection* computation (sections 3 and 5).  All
+// four travel over the same FIFO channels, which is exactly what makes the
+// process axioms P1/P2 hold.
+#pragma once
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "graph/wait_for_graph.h"
+
+namespace cmh::core {
+
+/// Underlying computation: "please carry out an action for me".
+/// Creates wait-for edge (sender, receiver); the edge is grey in flight and
+/// blackens on receipt (G1, G2).
+struct RequestMsg {};
+
+/// Underlying computation: "done".  Whitens edge (receiver, sender) when
+/// sent; the edge disappears on receipt (G3, G4).
+struct ReplyMsg {};
+
+/// Detection: probe of computation `tag`, traveling along wait-for edge
+/// (sender, receiver).  Meaningful iff that edge exists and is black when
+/// received (section 3.2), which the receiver checks locally per P3.
+struct ProbeMsg {
+  ProbeTag tag;
+};
+
+/// Section 5 WFGD computation: a set of edges lying on permanent black
+/// paths from the receiver.
+struct WfgdMsg {
+  std::vector<graph::Edge> edges;
+};
+
+using Message = std::variant<RequestMsg, ReplyMsg, ProbeMsg, WfgdMsg>;
+
+[[nodiscard]] Bytes encode(const Message& msg);
+[[nodiscard]] Result<Message> decode(const Bytes& payload);
+
+}  // namespace cmh::core

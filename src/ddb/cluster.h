@@ -1,0 +1,140 @@
+// Cluster -- a simulator-hosted DDB: N controllers, round-robin resource
+// placement, a client transaction layer and a ground-truth deadlock oracle.
+//
+// This is the top-level public API for the DDB model (see README quickstart):
+//
+//   ddb::Cluster db({.n_sites = 4, .n_resources = 64});
+//   auto t = db.begin(SiteId{0});
+//   db.lock(t, ResourceId{7}, LockMode::kWrite);
+//   db.simulator().run();
+//   if (db.aborted(t)) { /* deadlock victim */ }
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ddb/controller.h"
+#include "sim/simulator.h"
+
+namespace cmh::ddb {
+
+struct ClusterConfig {
+  std::uint32_t n_sites{4};
+  std::uint32_t n_resources{64};
+  DdbOptions options{};
+  std::uint64_t seed{1};
+  sim::DelayModel delays{};
+};
+
+enum class TxnStatus : std::uint8_t { kActive, kCommitted, kAborted };
+
+struct DdbDetection {
+  TransactionId victim;
+  DdbProbeTag tag;
+  SiteId site;  // declaring controller
+  SimTime at;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] std::uint32_t n_sites() const { return config_.n_sites; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] Controller& controller(SiteId s) {
+    return *controllers_.at(s.value());
+  }
+  [[nodiscard]] const Controller& controller(SiteId s) const {
+    return *controllers_.at(s.value());
+  }
+
+  /// Static placement: resource r lives at site (r mod n_sites).
+  [[nodiscard]] SiteId owner_of(ResourceId r) const {
+    return SiteId{r.value() % config_.n_sites};
+  }
+
+  // ---- client transaction layer -------------------------------------------
+
+  /// Starts a new transaction homed at `home`.
+  TransactionId begin(SiteId home);
+
+  /// Requests a lock through the home controller.  Completion is reported
+  /// via granted(); an abort via status().
+  void lock(TransactionId txn, ResourceId resource, LockMode mode);
+
+  /// Commits: releases all locks everywhere.  The transaction must not have
+  /// requests still pending.
+  void finish(TransactionId txn);
+
+  /// Client-initiated abort (e.g. lock-wait timeout): releases everything
+  /// everywhere; the abort listener fires as for a deadlock victim.
+  void abort(TransactionId txn);
+
+  [[nodiscard]] TxnStatus status(TransactionId txn) const;
+  [[nodiscard]] bool granted(TransactionId txn, ResourceId resource) const;
+  [[nodiscard]] bool all_granted(TransactionId txn) const;
+  [[nodiscard]] SiteId home_of(TransactionId txn) const;
+
+  /// Observer invoked when a lock is granted to a transaction (after the
+  /// cluster's own bookkeeping).  Workload drivers use this to advance.
+  using GrantListener = std::function<void(TransactionId, ResourceId)>;
+  void set_grant_listener(GrantListener fn) { grant_listener_ = std::move(fn); }
+
+  /// Observer invoked when a transaction is aborted (deadlock victim).
+  using AbortListener = std::function<void(TransactionId)>;
+  void set_abort_listener(AbortListener fn) { abort_listener_ = std::move(fn); }
+
+  // ---- detection results ----------------------------------------------------
+
+  [[nodiscard]] const std::vector<DdbDetection>& detections() const {
+    return detections_;
+  }
+
+  /// Invoked synchronously at the declaration instant (before any victim
+  /// abort), so tests can interrogate ground truth at that exact moment.
+  using DetectionListener = std::function<void(const DdbDetection&)>;
+  void set_detection_listener(DetectionListener fn) {
+    detection_listener_ = std::move(fn);
+  }
+
+  // ---- oracle (global knowledge; valid whenever the simulator is idle) ----
+
+  /// Transactions on a cycle of the global transaction-wait-for graph
+  /// (union of all sites' local wait edges).  At simulator idle this is
+  /// exactly the set of genuinely deadlocked transactions.
+  [[nodiscard]] std::vector<TransactionId> oracle_deadlocked() const;
+
+  /// Sum of controller stats across sites.
+  [[nodiscard]] ControllerStats total_stats() const;
+
+ private:
+  // Per the paper's section 6.2, a transaction's computation stays at the
+  // agent that issued the request ("(Ti,Sj) may now proceed with its
+  // computation"): remote agents acquire on its behalf.  All lock requests
+  // therefore originate from the home agent; the holding agents' dependence
+  // on the home is the release-wait edge (see controller.h).
+  struct TxnState {
+    SiteId home;
+    TxnStatus status{TxnStatus::kActive};
+    std::map<ResourceId, LockMode> requested;
+    std::set<ResourceId> granted;
+  };
+
+  ClusterConfig config_;
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<Controller>> controllers_;
+  std::unordered_map<TransactionId, TxnState> txns_;
+  std::uint32_t next_txn_{0};
+  std::vector<DdbDetection> detections_;
+  GrantListener grant_listener_;
+  AbortListener abort_listener_;
+  DetectionListener detection_listener_;
+};
+
+}  // namespace cmh::ddb

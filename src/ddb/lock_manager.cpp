@@ -1,0 +1,218 @@
+#include "ddb/lock_manager.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cmh::ddb {
+
+bool LockManager::grantable(const ResourceState& rs, const LockRequest& req,
+                            std::size_t pos) {
+  for (const auto& [holder, holding] : rs.holders) {
+    if (holder == req.txn) continue;  // self-held (upgrade) never self-blocks
+    if (conflicts(holding.mode, req.mode)) return false;
+  }
+  for (std::size_t i = 0; i < pos && i < rs.queue.size(); ++i) {
+    const LockRequest& ahead = rs.queue[i];
+    if (ahead.txn == req.txn) continue;
+    if (conflicts(ahead.mode, req.mode)) return false;
+  }
+  return true;
+}
+
+AcquireResult LockManager::acquire(ResourceId resource, TransactionId txn,
+                                   LockMode mode, SiteId origin) {
+  ResourceState& rs = resources_[resource];
+
+  const auto held = rs.holders.find(txn);
+  if (held != rs.holders.end()) {
+    if (held->second.mode == LockMode::kWrite || mode == LockMode::kRead) {
+      return AcquireResult::kRedundant;
+    }
+    // Upgrade read -> write: in place iff sole holder.  The original
+    // acquisition's origin is kept.
+    if (rs.holders.size() == 1) {
+      held->second.mode = LockMode::kWrite;
+      return AcquireResult::kGranted;
+    }
+    rs.queue.push_back(LockRequest{txn, mode, origin});
+    return AcquireResult::kQueued;
+  }
+
+  const LockRequest req{txn, mode, origin};
+  if (grantable(rs, req, rs.queue.size())) {
+    rs.holders.emplace(txn, Holding{mode, origin});
+    return AcquireResult::kGranted;
+  }
+  rs.queue.push_back(req);
+  return AcquireResult::kQueued;
+}
+
+std::vector<LockRequest> LockManager::grant_eligible(ResourceState& rs) {
+  std::vector<LockRequest> granted;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < rs.queue.size(); ++i) {
+      const LockRequest req = rs.queue[i];
+      if (!grantable(rs, req, i)) continue;
+      rs.queue.erase(rs.queue.begin() + static_cast<std::ptrdiff_t>(i));
+      auto [it, inserted] =
+          rs.holders.emplace(req.txn, Holding{req.mode, req.origin});
+      if (!inserted && req.mode == LockMode::kWrite) {
+        it->second.mode = LockMode::kWrite;  // queued upgrade completes
+      }
+      granted.push_back(req);
+      progressed = true;
+      break;  // holders changed; rescan from the front
+    }
+  }
+  return granted;
+}
+
+std::vector<LockRequest> LockManager::release(ResourceId resource,
+                                              TransactionId txn) {
+  const auto it = resources_.find(resource);
+  if (it == resources_.end()) return {};
+  ResourceState& rs = it->second;
+  if (rs.holders.erase(txn) == 0) return {};
+  auto granted = grant_eligible(rs);
+  if (rs.holders.empty() && rs.queue.empty()) resources_.erase(it);
+  return granted;
+}
+
+std::vector<std::pair<ResourceId, LockRequest>> LockManager::abort(
+    TransactionId txn) {
+  std::vector<std::pair<ResourceId, LockRequest>> granted;
+  std::vector<ResourceId> empty;
+  for (auto& [resource, rs] : resources_) {
+    const bool held = rs.holders.erase(txn) > 0;
+    const auto old_size = rs.queue.size();
+    rs.queue.erase(std::remove_if(rs.queue.begin(), rs.queue.end(),
+                                  [&](const LockRequest& r) {
+                                    return r.txn == txn;
+                                  }),
+                   rs.queue.end());
+    if (held || rs.queue.size() != old_size) {
+      for (LockRequest& g : grant_eligible(rs)) {
+        granted.emplace_back(resource, std::move(g));
+      }
+    }
+    if (rs.holders.empty() && rs.queue.empty()) empty.push_back(resource);
+  }
+  for (const ResourceId r : empty) resources_.erase(r);
+  return granted;
+}
+
+bool LockManager::holds(ResourceId resource, TransactionId txn) const {
+  const auto it = resources_.find(resource);
+  return it != resources_.end() && it->second.holders.contains(txn);
+}
+
+std::optional<LockMode> LockManager::held_mode(ResourceId resource,
+                                               TransactionId txn) const {
+  const auto it = resources_.find(resource);
+  if (it == resources_.end()) return std::nullopt;
+  const auto jt = it->second.holders.find(txn);
+  if (jt == it->second.holders.end()) return std::nullopt;
+  return jt->second.mode;
+}
+
+bool LockManager::waiting(ResourceId resource, TransactionId txn) const {
+  const auto it = resources_.find(resource);
+  if (it == resources_.end()) return false;
+  return std::any_of(it->second.queue.begin(), it->second.queue.end(),
+                     [&](const LockRequest& r) { return r.txn == txn; });
+}
+
+std::vector<ResourceId> LockManager::held_by(TransactionId txn) const {
+  std::vector<ResourceId> result;
+  for (const auto& [resource, rs] : resources_) {
+    if (rs.holders.contains(txn)) result.push_back(resource);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<std::pair<TransactionId, TransactionId>> LockManager::wait_edges()
+    const {
+  std::vector<std::pair<TransactionId, TransactionId>> edges;
+  for (const auto& [resource, rs] : resources_) {
+    for (std::size_t i = 0; i < rs.queue.size(); ++i) {
+      const LockRequest& w = rs.queue[i];
+      for (const auto& [holder, holding] : rs.holders) {
+        if (holder != w.txn && conflicts(holding.mode, w.mode)) {
+          edges.emplace_back(w.txn, holder);
+        }
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        const LockRequest& ahead = rs.queue[j];
+        if (ahead.txn != w.txn && conflicts(ahead.mode, w.mode)) {
+          edges.emplace_back(w.txn, ahead.txn);
+        }
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+std::vector<SiteId> LockManager::holding_origins(TransactionId txn) const {
+  std::set<SiteId> origins;
+  for (const auto& [resource, rs] : resources_) {
+    const auto it = rs.holders.find(txn);
+    if (it != rs.holders.end()) origins.insert(it->second.origin);
+  }
+  return {origins.begin(), origins.end()};
+}
+
+std::vector<std::pair<ResourceId, LockRequest>> LockManager::queued_for(
+    TransactionId txn) const {
+  std::vector<std::pair<ResourceId, LockRequest>> result;
+  for (const auto& [resource, rs] : resources_) {
+    for (const LockRequest& r : rs.queue) {
+      if (r.txn == txn) result.emplace_back(resource, r);
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<ResourceId, LockRequest>> LockManager::queued_requests()
+    const {
+  std::vector<std::pair<ResourceId, LockRequest>> result;
+  for (const auto& [resource, rs] : resources_) {
+    for (const LockRequest& r : rs.queue) result.emplace_back(resource, r);
+  }
+  return result;
+}
+
+std::size_t LockManager::queue_depth(ResourceId resource) const {
+  const auto it = resources_.find(resource);
+  return it == resources_.end() ? 0 : it->second.queue.size();
+}
+
+std::vector<TransactionId> LockManager::blockers(ResourceId resource,
+                                                 TransactionId txn,
+                                                 LockMode mode) const {
+  std::set<TransactionId> result;
+  const auto it = resources_.find(resource);
+  if (it == resources_.end()) return {};
+  for (const auto& [holder, holding] : it->second.holders) {
+    if (holder != txn && conflicts(holding.mode, mode)) result.insert(holder);
+  }
+  for (const LockRequest& r : it->second.queue) {
+    if (r.txn != txn && conflicts(r.mode, mode)) result.insert(r.txn);
+  }
+  return {result.begin(), result.end()};
+}
+
+std::vector<TransactionId> LockManager::waiters(ResourceId resource) const {
+  std::vector<TransactionId> result;
+  const auto it = resources_.find(resource);
+  if (it == resources_.end()) return result;
+  result.reserve(it->second.queue.size());
+  for (const LockRequest& r : it->second.queue) result.push_back(r.txn);
+  return result;
+}
+
+}  // namespace cmh::ddb

@@ -1,0 +1,124 @@
+// Per-site resource lock manager.
+//
+// Read/write locks with FIFO queueing: a request is granted iff it does not
+// conflict with any current holder and no earlier queued request conflicts
+// with it (no overtaking past conflicting waiters, which prevents
+// starvation).  Lock upgrades (read -> write by the sole holder) are granted
+// in place; contended upgrades queue like any other request and can
+// deadlock -- the classic upgrade deadlock the detector must find.
+//
+// The manager also derives the local waits-for relation used for the
+// intra-controller edges of section 6.4: a blocked request waits for every
+// conflicting holder and every conflicting earlier waiter.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "ddb/types.h"
+
+namespace cmh::ddb {
+
+/// Outcome of an acquire call.
+enum class AcquireResult : std::uint8_t {
+  kGranted,   // lock held now
+  kQueued,    // blocked; a grant will be reported later
+  kRedundant  // already held in a mode at least as strong
+};
+
+struct LockRequest {
+  TransactionId txn;
+  LockMode mode;
+  /// Site the request was forwarded from (== local site for local
+  /// requests); carried so the controller can reply along the right
+  /// inter-controller edge.
+  SiteId origin;
+};
+
+/// A granted lock.  The origin is kept because the holding agent (T, here)
+/// conceptually waits on the agent (T, origin) that commanded the
+/// acquisition -- it may only release when that agent's computation
+/// proceeds (the release-wait inter-controller edge; see controller.h).
+struct Holding {
+  LockMode mode;
+  SiteId origin;
+};
+
+class LockManager {
+ public:
+  /// Requests `mode` on `resource` for `txn`.  Never blocks the caller;
+  /// kQueued means the grant will surface via release()/abort() later.
+  AcquireResult acquire(ResourceId resource, TransactionId txn, LockMode mode,
+                        SiteId origin);
+
+  /// Releases txn's hold on `resource` (no-op if not held) and grants any
+  /// now-eligible queued requests, returning them in grant order.
+  std::vector<LockRequest> release(ResourceId resource, TransactionId txn);
+
+  /// Releases everything txn holds and cancels its queued requests.
+  /// Returns the requests newly granted to *other* transactions.
+  std::vector<std::pair<ResourceId, LockRequest>> abort(TransactionId txn);
+
+  // ---- queries ------------------------------------------------------------
+
+  [[nodiscard]] bool holds(ResourceId resource, TransactionId txn) const;
+  [[nodiscard]] std::optional<LockMode> held_mode(ResourceId resource,
+                                                  TransactionId txn) const;
+  [[nodiscard]] bool waiting(ResourceId resource, TransactionId txn) const;
+
+  /// Resources txn currently holds.
+  [[nodiscard]] std::vector<ResourceId> held_by(TransactionId txn) const;
+
+  /// Origin sites of txn's local holdings (deduplicated, sorted) -- the
+  /// targets of its outgoing release-wait edges.
+  [[nodiscard]] std::vector<SiteId> holding_origins(TransactionId txn) const;
+
+  /// The local waits-for relation: pairs (waiter, blocker) over
+  /// transactions, derived from every queue (section 6.4 intra edges).
+  [[nodiscard]] std::vector<std::pair<TransactionId, TransactionId>>
+  wait_edges() const;
+
+  /// Pending (queued) requests for a given transaction, with resources.
+  [[nodiscard]] std::vector<std::pair<ResourceId, LockRequest>> queued_for(
+      TransactionId txn) const;
+
+  /// Every pending (queued) request across all resources.
+  [[nodiscard]] std::vector<std::pair<ResourceId, LockRequest>>
+  queued_requests() const;
+
+  [[nodiscard]] std::size_t queue_depth(ResourceId resource) const;
+
+  /// Transactions currently queued on `resource` (FIFO order).
+  [[nodiscard]] std::vector<TransactionId> waiters(ResourceId resource) const;
+
+  /// Transactions a hypothetical request (txn, mode) on `resource` would
+  /// wait for right now: conflicting holders and conflicting queued
+  /// requests.  Used by the harness oracle to account for in-flight (grey)
+  /// requests.
+  [[nodiscard]] std::vector<TransactionId> blockers(ResourceId resource,
+                                                    TransactionId txn,
+                                                    LockMode mode) const;
+
+ private:
+  struct ResourceState {
+    // Holders: transaction -> holding.  Multiple readers, or one writer.
+    std::unordered_map<TransactionId, Holding> holders;
+    std::deque<LockRequest> queue;
+  };
+
+  /// True iff `req` (at queue position `pos`) can be granted now.
+  [[nodiscard]] static bool grantable(const ResourceState& rs,
+                                      const LockRequest& req, std::size_t pos);
+
+  /// Pops every grantable request from the front region of the queue.
+  std::vector<LockRequest> grant_eligible(ResourceState& rs);
+
+  std::unordered_map<ResourceId, ResourceState> resources_;
+};
+
+}  // namespace cmh::ddb

@@ -1,0 +1,94 @@
+#include "ddb/messages.h"
+
+namespace cmh::ddb {
+
+namespace {
+enum WireType : std::uint8_t {
+  kLockRequest = 1,
+  kLockGrant = 2,
+  kPurge = 3,
+  kProbe = 4,
+};
+}  // namespace
+
+Bytes encode(const DdbMessage& msg) {
+  Writer w;
+  std::visit(
+      [&w](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RemoteLockRequestMsg>) {
+          w.u8(kLockRequest);
+          w.id(m.txn);
+          w.id(m.resource);
+          w.u8(static_cast<std::uint8_t>(m.mode));
+        } else if constexpr (std::is_same_v<T, RemoteLockGrantMsg>) {
+          w.u8(kLockGrant);
+          w.id(m.txn);
+          w.id(m.resource);
+        } else if constexpr (std::is_same_v<T, PurgeTxnMsg>) {
+          w.u8(kPurge);
+          w.id(m.txn);
+          w.u8(m.aborted ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, DdbProbeMsg>) {
+          w.u8(kProbe);
+          w.id(m.tag.initiator);
+          w.u64(m.tag.sequence);
+          w.u64(m.floor);
+          w.agent(m.edge.from);
+          w.agent(m.edge.to);
+          w.u8(m.via_release_wait ? 1 : 0);
+        }
+      },
+      msg);
+  return std::move(w).take();
+}
+
+Result<DdbMessage> decode(const Bytes& payload) {
+  Reader r(payload);
+  std::uint8_t type = 0;
+  if (auto st = r.u8(type); !st.ok()) return st;
+  switch (type) {
+    case kLockRequest: {
+      RemoteLockRequestMsg m;
+      std::uint8_t mode = 0;
+      if (auto st = r.id(m.txn); !st.ok()) return st;
+      if (auto st = r.id(m.resource); !st.ok()) return st;
+      if (auto st = r.u8(mode); !st.ok()) return st;
+      if (mode > 1) {
+        return Status{StatusCode::kInvalidArgument, "bad lock mode"};
+      }
+      m.mode = static_cast<LockMode>(mode);
+      return DdbMessage{m};
+    }
+    case kLockGrant: {
+      RemoteLockGrantMsg m;
+      if (auto st = r.id(m.txn); !st.ok()) return st;
+      if (auto st = r.id(m.resource); !st.ok()) return st;
+      return DdbMessage{m};
+    }
+    case kPurge: {
+      PurgeTxnMsg m;
+      std::uint8_t aborted = 0;
+      if (auto st = r.id(m.txn); !st.ok()) return st;
+      if (auto st = r.u8(aborted); !st.ok()) return st;
+      m.aborted = aborted != 0;
+      return DdbMessage{m};
+    }
+    case kProbe: {
+      DdbProbeMsg m;
+      std::uint8_t kind = 0;
+      if (auto st = r.id(m.tag.initiator); !st.ok()) return st;
+      if (auto st = r.u64(m.tag.sequence); !st.ok()) return st;
+      if (auto st = r.u64(m.floor); !st.ok()) return st;
+      if (auto st = r.agent(m.edge.from); !st.ok()) return st;
+      if (auto st = r.agent(m.edge.to); !st.ok()) return st;
+      if (auto st = r.u8(kind); !st.ok()) return st;
+      m.via_release_wait = kind != 0;
+      return DdbMessage{m};
+    }
+    default:
+      return Status{StatusCode::kInvalidArgument, "unknown ddb message type"};
+  }
+}
+
+}  // namespace cmh::ddb

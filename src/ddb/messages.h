@@ -1,0 +1,67 @@
+// Controller-to-controller wire messages of the DDB model (section 6).
+//
+// Lock traffic realizes the colored inter-controller edges:
+//   RemoteLockRequestMsg  in flight  -- edge grey   (G3 of section 6.4)
+//   ... received & queued            -- edge black  (G4)
+//   RemoteLockGrantMsg sent          -- edge white  (G5)
+//   ... received                     -- edge gone   (G6)
+// DdbProbeMsg is the detection traffic of section 6.5; PurgeTxnMsg is the
+// deadlock-resolution / commit cleanup channel.
+#pragma once
+
+#include <variant>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "ddb/types.h"
+
+namespace cmh::ddb {
+
+/// C_j forwards a lock request of transaction `txn` to the resource's
+/// managing controller.  The wire sender site is the origin of the
+/// inter-controller edge ((txn, sender), (txn, receiver)).
+struct RemoteLockRequestMsg {
+  TransactionId txn;
+  ResourceId resource;
+  LockMode mode{LockMode::kRead};
+};
+
+/// C_m tells the origin controller that (txn, m) acquired the resource.
+struct RemoteLockGrantMsg {
+  TransactionId txn;
+  ResourceId resource;
+};
+
+/// Drop all local state of `txn` (locks held, queued requests).  Sent at
+/// commit (release everything) and at deadlock-resolution abort.
+struct PurgeTxnMsg {
+  TransactionId txn;
+  bool aborted{false};
+};
+
+/// Probe of computation `tag`, sent along inter-controller edge `edge`
+/// (section 6.5).  `floor` is the lowest still-live sequence number of the
+/// initiating controller's current detection round; receivers discard state
+/// for that initiator's computations below it (the section-4.3 stale-tag
+/// rule, generalized to the Q concurrent computations of section 6.7).
+struct DdbProbeMsg {
+  DdbProbeTag tag;
+  std::uint64_t floor{0};
+  InterEdge edge;
+  /// False: acquisition edge -- (T, from) awaits a grant from (T, to)'s
+  /// controller; meaningful iff T has a queued request at the receiver
+  /// forwarded from `edge.from.site`.
+  /// True: release-wait edge -- (T, from) holds a resource it acquired on
+  /// behalf of (T, to) and can only release when that agent's computation
+  /// proceeds; meaningful iff T is blocked at the receiver (T cannot have
+  /// committed while blocked, so the holding at the sender still exists).
+  bool via_release_wait{false};
+};
+
+using DdbMessage = std::variant<RemoteLockRequestMsg, RemoteLockGrantMsg,
+                                PurgeTxnMsg, DdbProbeMsg>;
+
+[[nodiscard]] Bytes encode(const DdbMessage& msg);
+[[nodiscard]] Result<DdbMessage> decode(const Bytes& payload);
+
+}  // namespace cmh::ddb

@@ -1,0 +1,176 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace cmh::graph {
+
+namespace {
+
+void push_dark_edge(Scenario& s, ProcessId from, ProcessId to) {
+  s.script.push_back(Op{OpKind::kCreate, Edge{from, to}});
+  s.script.push_back(Op{OpKind::kBlacken, Edge{from, to}});
+}
+
+}  // namespace
+
+Scenario make_ring(std::uint32_t n, std::uint32_t cycle_len) {
+  if (cycle_len < 2 || cycle_len > n) {
+    throw std::invalid_argument("make_ring: need 2 <= cycle_len <= n");
+  }
+  Scenario s;
+  s.n_processes = n;
+  for (std::uint32_t i = 0; i < cycle_len; ++i) {
+    const ProcessId from{i};
+    const ProcessId to{(i + 1) % cycle_len};
+    push_dark_edge(s, from, to);
+    s.planted_cycle.push_back(from);
+  }
+  return s;
+}
+
+Scenario make_ring_with_tails(std::uint32_t n, std::uint32_t cycle_len,
+                              std::uint32_t extra_edges, std::uint64_t seed) {
+  Scenario s = make_ring(n, cycle_len);
+  Rng rng(seed);
+  std::uint32_t added = 0;
+  WaitForGraph g = replay(s, s.script.size());
+  // Tails: off-cycle vertices wait (directly or transitively) on earlier
+  // vertices; we draw from -> to with `to` any vertex and `from` off-cycle,
+  // rejecting duplicates and self-loops.  Because every added edge leaves an
+  // off-cycle vertex, no new cycle can form through it unless it targets a
+  // vertex that reaches back -- which it cannot, since off-cycle vertices
+  // gain no incoming edges from the cycle.
+  std::uint32_t attempts = 0;
+  while (added < extra_edges && attempts < extra_edges * 50 + 100) {
+    ++attempts;
+    if (n <= cycle_len) break;
+    const ProcessId from{
+        cycle_len + static_cast<std::uint32_t>(rng.below(n - cycle_len))};
+    const ProcessId to{static_cast<std::uint32_t>(rng.below(n))};
+    if (from == to || g.has_edge(from, to)) continue;
+    // Only allow edges that keep the off-cycle part acyclic: from must have
+    // a larger raw id than any off-cycle target.
+    if (to.value() >= cycle_len && to.value() >= from.value()) continue;
+    if (!g.create(from, to).ok()) continue;
+    if (!g.blacken(from, to).ok()) throw std::logic_error("tails: blacken");
+    push_dark_edge(s, from, to);
+    ++added;
+  }
+  return s;
+}
+
+Scenario make_acyclic(std::uint32_t n, std::uint32_t edges,
+                      std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("make_acyclic: need n >= 2");
+  Scenario s;
+  s.n_processes = n;
+  Rng rng(seed);
+
+  // Random topological order; all edges point forward in it.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::uint32_t i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.below(i + 1)]);
+  }
+
+  WaitForGraph g;
+  std::uint32_t added = 0;
+  std::uint32_t attempts = 0;
+  while (added < edges && attempts < edges * 50 + 100) {
+    ++attempts;
+    const std::uint32_t a = static_cast<std::uint32_t>(rng.below(n));
+    const std::uint32_t b = static_cast<std::uint32_t>(rng.below(n));
+    if (a == b) continue;
+    const auto [lo, hi] = std::minmax(a, b);
+    const ProcessId from{order[lo]};
+    const ProcessId to{order[hi]};
+    if (g.has_edge(from, to)) continue;
+    if (!g.create(from, to).ok()) continue;
+    if (!g.blacken(from, to).ok()) throw std::logic_error("acyclic: blacken");
+    push_dark_edge(s, from, to);
+    ++added;
+  }
+  return s;
+}
+
+Scenario make_random_walk(std::uint32_t n, std::uint32_t steps,
+                          std::uint64_t seed, double create_bias) {
+  if (n < 2) throw std::invalid_argument("make_random_walk: need n >= 2");
+  Scenario s;
+  s.n_processes = n;
+  Rng rng(seed);
+  WaitForGraph g;
+
+  for (std::uint32_t step = 0; step < steps; ++step) {
+    // Gather legal moves of each kind, then pick.
+    const auto edges = g.edges();
+    std::vector<Op> legal;
+    for (const Edge& e : edges) {
+      switch (*g.color(e.from, e.to)) {
+        case EdgeColor::kGrey:
+          legal.push_back(Op{OpKind::kBlacken, e});
+          break;
+        case EdgeColor::kBlack:
+          if (!g.has_outgoing(e.to)) legal.push_back(Op{OpKind::kWhiten, e});
+          break;
+        case EdgeColor::kWhite:
+          legal.push_back(Op{OpKind::kRemove, e});
+          break;
+      }
+    }
+
+    const bool try_create = legal.empty() || rng.chance(create_bias);
+    bool created = false;
+    if (try_create) {
+      for (int attempt = 0; attempt < 20 && !created; ++attempt) {
+        const ProcessId from{static_cast<std::uint32_t>(rng.below(n))};
+        const ProcessId to{static_cast<std::uint32_t>(rng.below(n))};
+        if (from == to || g.has_edge(from, to)) continue;
+        if (g.create(from, to).ok()) {
+          s.script.push_back(Op{OpKind::kCreate, Edge{from, to}});
+          created = true;
+        }
+      }
+    }
+    if (!created) {
+      if (legal.empty()) continue;
+      const Op op = legal[rng.below(legal.size())];
+      Status st;
+      switch (op.kind) {
+        case OpKind::kBlacken: st = g.blacken(op.edge.from, op.edge.to); break;
+        case OpKind::kWhiten: st = g.whiten(op.edge.from, op.edge.to); break;
+        case OpKind::kRemove: st = g.remove(op.edge.from, op.edge.to); break;
+        case OpKind::kCreate: break;  // unreachable
+      }
+      if (!st.ok()) throw std::logic_error("random_walk: illegal move");
+      s.script.push_back(op);
+    }
+  }
+  return s;
+}
+
+WaitForGraph replay(const Scenario& scenario, std::size_t upto) {
+  WaitForGraph g;
+  if (upto > scenario.script.size()) {
+    throw std::out_of_range("replay: prefix exceeds script length");
+  }
+  for (std::size_t i = 0; i < upto; ++i) {
+    const Op& op = scenario.script[i];
+    Status st;
+    switch (op.kind) {
+      case OpKind::kCreate: st = g.create(op.edge.from, op.edge.to); break;
+      case OpKind::kBlacken: st = g.blacken(op.edge.from, op.edge.to); break;
+      case OpKind::kWhiten: st = g.whiten(op.edge.from, op.edge.to); break;
+      case OpKind::kRemove: st = g.remove(op.edge.from, op.edge.to); break;
+    }
+    if (!st.ok()) {
+      throw std::logic_error("replay: axiom violation in script: " +
+                             st.to_string());
+    }
+  }
+  return g;
+}
+
+}  // namespace cmh::graph

@@ -1,0 +1,64 @@
+// Synthetic wait-for-graph scenario generators.
+//
+// The paper has no workload section; these generators stand in for the
+// production traces a DDB deployment would produce (see DESIGN.md,
+// substitutions).  Each generator emits a *script* of axiom-respecting edge
+// transitions so the same scenario can be replayed against the global graph
+// oracle and against the distributed detector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "graph/wait_for_graph.h"
+
+namespace cmh::graph {
+
+enum class OpKind : std::uint8_t { kCreate, kBlacken, kWhiten, kRemove };
+
+/// One edge-color transition in a scenario script.
+struct Op {
+  OpKind kind;
+  Edge edge;
+};
+
+/// A replayable scenario: processes [0, n_processes) and a transition script.
+struct Scenario {
+  std::uint32_t n_processes{0};
+  std::vector<Op> script;
+  /// Vertices the generator arranged to end up on a dark cycle (may be
+  /// empty).  Oracle checks use the graph itself; this is a convenience.
+  std::vector<ProcessId> planted_cycle;
+};
+
+/// A simple ring deadlock: p0 -> p1 -> ... -> p_{L-1} -> p0, all edges
+/// created then blackened, embedded among `n` processes total.
+[[nodiscard]] Scenario make_ring(std::uint32_t n, std::uint32_t cycle_len);
+
+/// Ring deadlock plus `extra_edges` additional dark edges from random
+/// off-cycle vertices toward random vertices (attached trees / chains that
+/// transitively wait on the cycle), as in a realistic blocked system.
+[[nodiscard]] Scenario make_ring_with_tails(std::uint32_t n,
+                                            std::uint32_t cycle_len,
+                                            std::uint32_t extra_edges,
+                                            std::uint64_t seed);
+
+/// Random acyclic waiting (no deadlock): `edges` dark edges obeying a random
+/// topological order, so no cycle can form.  Used for false-positive tests.
+[[nodiscard]] Scenario make_acyclic(std::uint32_t n, std::uint32_t edges,
+                                    std::uint64_t seed);
+
+/// Fully random transition script: at each step pick a random legal
+/// transition (create/blacken/whiten/remove) according to the axioms.
+/// Deadlocks may or may not arise; tests use the oracle for ground truth.
+[[nodiscard]] Scenario make_random_walk(std::uint32_t n, std::uint32_t steps,
+                                        std::uint64_t seed,
+                                        double create_bias = 0.5);
+
+/// Replays a script prefix [0, upto) into a fresh graph (throws on any
+/// axiom violation -- generator bugs must be loud).
+[[nodiscard]] WaitForGraph replay(const Scenario& scenario, std::size_t upto);
+
+}  // namespace cmh::graph

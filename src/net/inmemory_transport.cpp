@@ -1,0 +1,92 @@
+#include "net/inmemory_transport.h"
+
+#include <stdexcept>
+
+namespace cmh::net {
+
+NodeId InMemoryTransport::add_node(Handler handler) {
+  std::scoped_lock lock(nodes_mutex_);
+  if (started_) {
+    throw std::logic_error("InMemoryTransport: add_node after start()");
+  }
+  auto node = std::make_unique<Node>();
+  node->handler = std::move(handler);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void InMemoryTransport::set_handler(NodeId node, Handler handler) {
+  std::scoped_lock lock(nodes_mutex_);
+  nodes_.at(node)->handler = std::move(handler);
+}
+
+void InMemoryTransport::send(NodeId from, NodeId to, Bytes payload) {
+  Node* node = nullptr;
+  {
+    std::scoped_lock lock(nodes_mutex_);
+    node = nodes_.at(to).get();
+  }
+  {
+    std::scoped_lock lock(node->mutex);
+    node->queue.push_back(Mail{from, std::move(payload)});
+  }
+  node->cv.notify_one();
+}
+
+void InMemoryTransport::start() {
+  std::scoped_lock lock(nodes_mutex_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  for (auto& node : nodes_) {
+    node->worker = std::thread([this, n = node.get()] { worker_loop(*n); });
+  }
+}
+
+void InMemoryTransport::stop() {
+  {
+    std::scoped_lock lock(nodes_mutex_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+  }
+  for (auto& node : nodes_) {
+    // Take the node mutex before notifying so a worker between its
+    // predicate check and wait() cannot miss the wakeup.
+    { std::scoped_lock lock(node->mutex); }
+    node->cv.notify_all();
+  }
+  for (auto& node : nodes_) {
+    if (node->worker.joinable()) node->worker.join();
+  }
+  std::scoped_lock lock(nodes_mutex_);
+  started_ = false;
+}
+
+void InMemoryTransport::worker_loop(Node& node) {
+  for (;;) {
+    Mail mail;
+    {
+      std::unique_lock lock(node.mutex);
+      node.cv.wait(lock, [&] { return stopping_ || !node.queue.empty(); });
+      if (node.queue.empty()) return;  // stopping and drained
+      mail = std::move(node.queue.front());
+      node.queue.pop_front();
+      node.busy = true;
+    }
+    if (node.handler) node.handler(mail.from, mail.payload);
+    {
+      std::scoped_lock lock(node.mutex);
+      node.busy = false;
+    }
+    node.cv.notify_all();
+  }
+}
+
+void InMemoryTransport::drain() {
+  for (auto& node : nodes_) {
+    std::unique_lock lock(node->mutex);
+    node->cv.wait(lock, [&] { return node->queue.empty() && !node->busy; });
+  }
+}
+
+}  // namespace cmh::net

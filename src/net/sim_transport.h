@@ -1,0 +1,32 @@
+// Adapts the discrete-event simulator to the Transport interface so the
+// same harness code can run deterministically or on real threads/sockets.
+#pragma once
+
+#include "net/transport.h"
+#include "sim/simulator.h"
+
+namespace cmh::net {
+
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(sim::Simulator& simulator) : sim_(simulator) {}
+
+  NodeId add_node(Handler handler) override {
+    return sim_.add_node(std::move(handler));
+  }
+
+  void set_handler(NodeId node, Handler handler) override {
+    sim_.set_handler(node, std::move(handler));
+  }
+
+  void send(NodeId from, NodeId to, Bytes payload) override {
+    sim_.send(from, to, std::move(payload));
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+};
+
+}  // namespace cmh::net

@@ -1,0 +1,281 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace cmh::net {
+
+namespace {
+
+// Writes exactly `len` bytes; returns false on error/EOF.
+bool write_all(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_frame(int fd, const Bytes& payload) {
+  std::uint32_t len = htonl(static_cast<std::uint32_t>(payload.size()));
+  if (!write_all(fd, &len, sizeof(len))) return false;
+  return payload.empty() || write_all(fd, payload.data(), payload.size());
+}
+
+bool recv_frame(int fd, Bytes& payload) {
+  std::uint32_t len = 0;
+  if (!read_all(fd, &len, sizeof(len))) return false;
+  len = ntohl(len);
+  constexpr std::uint32_t kMaxFrame = 64u << 20;  // sanity bound, 64 MiB
+  if (len > kMaxFrame) return false;
+  payload.resize(len);
+  return len == 0 || read_all(fd, payload.data(), len);
+}
+
+}  // namespace
+
+NodeId TcpTransport::add_node(Handler handler) {
+  std::scoped_lock lock(nodes_mutex_);
+  if (started_) {
+    throw std::logic_error("TcpTransport: add_node after start()");
+  }
+  auto node = std::make_unique<Node>();
+  node->handler = std::move(handler);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void TcpTransport::set_handler(NodeId node, Handler handler) {
+  std::scoped_lock lock(nodes_mutex_);
+  nodes_.at(node)->handler = std::move(handler);
+}
+
+std::uint16_t TcpTransport::port(NodeId node) const {
+  std::scoped_lock lock(nodes_mutex_);
+  return nodes_.at(node)->port;
+}
+
+void TcpTransport::start() {
+  std::scoped_lock lock(nodes_mutex_);
+  if (started_) return;
+  stopping_ = false;
+
+  for (auto& node : nodes_) {
+    node->out_fds.assign(nodes_.size(), -1);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("TcpTransport: socket() failed");
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // let the OS pick
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      throw std::runtime_error("TcpTransport: bind() failed");
+    }
+    if (::listen(fd, 64) != 0) {
+      ::close(fd);
+      throw std::runtime_error("TcpTransport: listen() failed");
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    node->listen_fd = fd;
+    node->port = ntohs(addr.sin_port);
+  }
+
+  for (auto& node : nodes_) {
+    node->acceptor = std::thread([this, n = node.get()] { acceptor_loop(*n); });
+    node->deliverer =
+        std::thread([this, n = node.get()] { deliverer_loop(*n); });
+  }
+  started_ = true;
+}
+
+void TcpTransport::stop() {
+  if (!started_.exchange(false)) return;
+  stopping_ = true;
+
+  // Close sockets under the registry lock: the listening sockets unblock
+  // the acceptors, the data sockets unblock the readers.
+  {
+    std::scoped_lock lock(nodes_mutex_);
+    for (auto& node : nodes_) {
+      if (node->listen_fd >= 0) {
+        ::shutdown(node->listen_fd, SHUT_RDWR);
+        ::close(node->listen_fd);
+        node->listen_fd = -1;
+      }
+      std::scoped_lock out_lock(node->out_mutex);
+      for (int& fd : node->out_fds) {
+        if (fd >= 0) {
+          ::shutdown(fd, SHUT_RDWR);
+          ::close(fd);
+          fd = -1;
+        }
+      }
+    }
+  }
+  // Join WITHOUT holding nodes_mutex_: delivery handlers may still be
+  // inside send(), which takes that mutex (the nodes_ vector itself is
+  // immutable after start()).
+  for (auto& node : nodes_) {
+    if (node->acceptor.joinable()) node->acceptor.join();
+    std::scoped_lock readers_lock(node->readers_mutex);
+    for (auto& t : node->readers) {
+      if (t.joinable()) t.join();
+    }
+    node->readers.clear();
+  }
+  for (auto& node : nodes_) {
+    // Take the mail mutex before notifying so a deliverer between its
+    // predicate check and wait() cannot miss the wakeup.
+    { std::scoped_lock lock(node->mail_mutex); }
+    node->mail_cv.notify_all();
+    if (node->deliverer.joinable()) node->deliverer.join();
+  }
+}
+
+void TcpTransport::acceptor_loop(Node& node) {
+  for (;;) {
+    const int fd = ::accept(node.listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed during stop()
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::scoped_lock lock(node.readers_mutex);
+    node.readers.emplace_back([this, &node, fd] { reader_loop(node, fd); });
+  }
+}
+
+void TcpTransport::reader_loop(Node& node, int fd) {
+  // Handshake: first frame is the sender's node id.
+  Bytes hello;
+  NodeId from = 0;
+  if (!recv_frame(fd, hello) || hello.size() != sizeof(NodeId)) {
+    ::close(fd);
+    return;
+  }
+  std::memcpy(&from, hello.data(), sizeof(from));
+
+  Bytes payload;
+  while (recv_frame(fd, payload)) {
+    {
+      std::scoped_lock lock(node.mail_mutex);
+      node.mailbox.emplace_back(from, std::move(payload));
+      payload = Bytes{};
+    }
+    node.mail_cv.notify_one();
+  }
+  ::close(fd);
+}
+
+void TcpTransport::deliverer_loop(Node& node) {
+  for (;;) {
+    std::pair<NodeId, Bytes> mail;
+    {
+      std::unique_lock lock(node.mail_mutex);
+      node.mail_cv.wait(
+          lock, [&] { return stopping_ || !node.mailbox.empty(); });
+      if (node.mailbox.empty()) return;
+      mail = std::move(node.mailbox.front());
+      node.mailbox.pop_front();
+    }
+    if (node.handler) node.handler(mail.first, mail.second);
+  }
+}
+
+int TcpTransport::connect_to(Node& src, NodeId dst) {
+  std::uint16_t dst_port = 0;
+  NodeId src_id = 0;
+  {
+    std::scoped_lock lock(nodes_mutex_);
+    dst_port = nodes_.at(dst)->port;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].get() == &src) src_id = static_cast<NodeId>(i);
+    }
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(dst_port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  Bytes hello(sizeof(NodeId));
+  std::memcpy(hello.data(), &src_id, sizeof(src_id));
+  if (!send_frame(fd, hello)) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void TcpTransport::send(NodeId from, NodeId to, Bytes payload) {
+  if (stopping_) return;  // shutting down; drops are acceptable
+  Node* src = nullptr;
+  {
+    std::scoped_lock lock(nodes_mutex_);
+    src = nodes_.at(from).get();
+    if (to >= nodes_.size()) {
+      throw std::out_of_range("TcpTransport::send: unknown destination");
+    }
+  }
+  // Per-destination connection established lazily; the out_mutex also
+  // serializes concurrent senders on the same channel, preserving frame
+  // atomicity and FIFO.
+  std::scoped_lock lock(src->out_mutex);
+  if (stopping_) return;
+  int& fd = src->out_fds.at(to);
+  if (fd < 0) fd = connect_to(*src, to);
+  if (fd < 0) {
+    CMH_LOG(kWarn, "tcp") << "connect to node " << to << " failed";
+    return;
+  }
+  if (!send_frame(fd, payload)) {
+    ::close(fd);
+    fd = -1;
+    CMH_LOG(kWarn, "tcp") << "send to node " << to << " failed";
+  }
+}
+
+}  // namespace cmh::net

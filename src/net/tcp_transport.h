@@ -1,0 +1,76 @@
+// Localhost TCP transport.
+//
+// Every node runs a listening socket on 127.0.0.1.  The first connection
+// frame is a handshake carrying the sender's node id; subsequent frames are
+// length-prefixed payloads.  One outbound connection is established lazily
+// per (src,dst) pair; TCP's byte-stream ordering gives per-channel FIFO.
+// Delivered messages are funnelled through a per-destination mailbox thread
+// so handlers stay sequential per node (atomic-step requirement).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace cmh::net {
+
+class TcpTransport final : public Transport {
+ public:
+  /// Ports are allocated by the OS (bind to port 0); peers learn each
+  /// other's ports through the shared registry inside this object, which
+  /// stands in for out-of-band configuration in a real deployment.
+  TcpTransport() = default;
+  ~TcpTransport() override { stop(); }
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  NodeId add_node(Handler handler) override;
+  void set_handler(NodeId node, Handler handler) override;
+  void send(NodeId from, NodeId to, Bytes payload) override;
+  void start() override;
+  void stop() override;
+
+  /// Port the given node listens on (valid after start()).
+  [[nodiscard]] std::uint16_t port(NodeId node) const;
+
+ private:
+  struct Node {
+    Handler handler;
+    int listen_fd{-1};
+    std::uint16_t port{0};
+    std::thread acceptor;
+    std::vector<std::thread> readers;
+    std::mutex readers_mutex;
+
+    // Outbound connections, keyed by destination node.
+    std::mutex out_mutex;
+    std::vector<int> out_fds;  // index = destination node, -1 = none
+
+    // Inbound delivery mailbox (serializes handler execution).
+    std::mutex mail_mutex;
+    std::condition_variable mail_cv;
+    std::deque<std::pair<NodeId, Bytes>> mailbox;
+    std::thread deliverer;
+  };
+
+  void acceptor_loop(Node& node);
+  void reader_loop(Node& node, int fd);
+  void deliverer_loop(Node& node);
+  int connect_to(Node& src, NodeId dst);
+
+  mutable std::mutex nodes_mutex_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace cmh::net

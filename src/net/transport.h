@@ -1,0 +1,49 @@
+// Transport abstraction.
+//
+// Algorithm code never talks to a socket or a simulator directly; it sends
+// byte payloads to node ids through this interface.  Three implementations
+// exist:
+//   * SimTransport       -- deterministic discrete-event simulation
+//   * InMemoryTransport  -- real threads, lock-protected FIFO queues
+//   * TcpTransport       -- localhost TCP sockets, length-prefixed frames
+// All three guarantee the paper's communication model: reliable, in-order
+// (per channel), finite-delay delivery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/serialize.h"
+
+namespace cmh::net {
+
+using NodeId = std::uint32_t;
+
+class Transport {
+ public:
+  /// Invoked once per delivered message.  For threaded transports the
+  /// handler runs on a delivery thread; one handler is never invoked
+  /// concurrently with itself for the same node (per-node serialization),
+  /// which realizes the paper's atomic-step requirement (note under A0-A2).
+  using Handler = std::function<void(NodeId from, const Bytes& payload)>;
+
+  virtual ~Transport() = default;
+
+  /// Registers a node; ids are dense from 0 in registration order.
+  virtual NodeId add_node(Handler handler) = 0;
+
+  /// Replaces a node's handler (must not race with delivery; call before
+  /// start() or from within the node's own handler context).
+  virtual void set_handler(NodeId node, Handler handler) = 0;
+
+  /// Sends payload from `from` to `to`.  Never blocks on the receiver.
+  virtual void send(NodeId from, NodeId to, Bytes payload) = 0;
+
+  /// Begins delivery (no-op for transports that deliver eagerly).
+  virtual void start() {}
+
+  /// Stops delivery and joins internal threads.  Idempotent.
+  virtual void stop() {}
+};
+
+}  // namespace cmh::net

@@ -1,0 +1,88 @@
+#include "runtime/sim_cluster.h"
+
+#include <stdexcept>
+
+namespace cmh::runtime {
+
+SimCluster::SimCluster(std::uint32_t n, core::Options options,
+                       std::uint64_t seed, sim::DelayModel delays)
+    : sim_(seed, delays), timers_(sim_) {
+  processes_.reserve(n);
+  // Node ids equal process ids by construction.
+  for (std::uint32_t i = 0; i < n; ++i) sim_.add_node({});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ProcessId id{i};
+    auto process = std::make_unique<core::BasicProcess>(
+        id,
+        [this, id](ProcessId to, const Bytes& payload) {
+          sim_.send(id.value(), to.value(), payload);
+        },
+        options, &timers_);
+    process->set_deadlock_callback([this, id](const ProbeTag& tag) {
+      const DeadlockEvent event{tag, id, sim_.now()};
+      detections_.push_back(event);
+      if (on_detection_) on_detection_(event);
+    });
+    processes_.push_back(std::move(process));
+    sim_.set_handler(i, [this, id](sim::NodeId from, const Bytes& payload) {
+      on_delivery(id, ProcessId{from}, payload);
+    });
+  }
+}
+
+void SimCluster::on_delivery(ProcessId to, ProcessId from,
+                             const Bytes& payload) {
+  // Oracle transitions happen at delivery instants (G2, G4); decode first to
+  // classify, then hand the same bytes to the process.
+  auto decoded = core::decode(payload);
+  if (!decoded.ok()) {
+    throw std::logic_error("SimCluster: undecodable payload: " +
+                           decoded.status().to_string());
+  }
+  if (std::holds_alternative<core::RequestMsg>(*decoded)) {
+    const auto st = oracle_.blacken(from, to);
+    if (!st.ok()) throw std::logic_error("oracle blacken: " + st.to_string());
+  } else if (std::holds_alternative<core::ReplyMsg>(*decoded)) {
+    const auto st = oracle_.remove(to, from);
+    if (!st.ok()) throw std::logic_error("oracle remove: " + st.to_string());
+  }
+  const auto st = processes_.at(to.value())->on_message(from, payload);
+  if (!st.ok()) throw std::logic_error("on_message: " + st.to_string());
+  for (const DeliveryHook& hook : hooks_) hook(to, from, *decoded);
+}
+
+void SimCluster::request(ProcessId from, ProcessId to) {
+  const auto st = oracle_.create(from, to);
+  if (!st.ok()) throw std::logic_error("oracle create: " + st.to_string());
+  process(from).send_request(to);
+}
+
+void SimCluster::reply(ProcessId from, ProcessId to) {
+  // Edge (to, from) whitens when p_from sends the reply (G3).
+  const auto st = oracle_.whiten(to, from);
+  if (!st.ok()) throw std::logic_error("oracle whiten: " + st.to_string());
+  process(from).send_reply(to);
+}
+
+core::ProcessStats SimCluster::total_stats() const {
+  core::ProcessStats total;
+  for (const auto& p : processes_) {
+    const auto& s = p->stats();
+    total.requests_sent += s.requests_sent;
+    total.replies_sent += s.replies_sent;
+    total.probes_sent += s.probes_sent;
+    total.probes_received += s.probes_received;
+    total.meaningful_probes += s.meaningful_probes;
+    total.computations_initiated += s.computations_initiated;
+    total.deadlocks_declared += s.deadlocks_declared;
+    total.wfgd_messages_sent += s.wfgd_messages_sent;
+    total.wfgd_messages_received += s.wfgd_messages_received;
+  }
+  return total;
+}
+
+bool SimCluster::run_until_detection() {
+  return sim_.run_while_pending([this] { return !detections_.empty(); });
+}
+
+}  // namespace cmh::runtime

@@ -1,0 +1,104 @@
+// SimCluster -- hosts N BasicProcess instances on the discrete-event
+// simulator and maintains a ground-truth colored wait-for graph alongside.
+//
+// The oracle graph is updated at the *true* instants of the model:
+//   create  -- when a request is sent        (G1)
+//   blacken -- when the request is delivered (G2)
+//   whiten  -- when the reply is sent        (G3)
+//   remove  -- when the reply is delivered   (G4)
+// so at every point in virtual time the oracle is exactly the paper's global
+// wait-for graph, and QRP1/QRP2 can be checked literally against it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/basic_process.h"
+#include "graph/wait_for_graph.h"
+#include "sim/simulator.h"
+
+namespace cmh::runtime {
+
+/// TimerService backed by simulator virtual time.
+class SimTimerService final : public core::TimerService {
+ public:
+  explicit SimTimerService(sim::Simulator& simulator) : sim_(simulator) {}
+  void schedule(SimTime delay, std::function<void()> fn) override {
+    sim_.schedule(delay, std::move(fn));
+  }
+
+ private:
+  sim::Simulator& sim_;
+};
+
+struct DeadlockEvent {
+  ProbeTag tag;       // which computation detected
+  ProcessId process;  // who declared (== tag.initiator)
+  SimTime at;         // virtual time of declaration
+};
+
+class SimCluster {
+ public:
+  SimCluster(std::uint32_t n, core::Options options, std::uint64_t seed = 1,
+             sim::DelayModel delays = {});
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(processes_.size());
+  }
+  [[nodiscard]] core::BasicProcess& process(ProcessId id) {
+    return *processes_.at(id.value());
+  }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const graph::WaitForGraph& oracle() const { return oracle_; }
+
+  /// p_from sends a request to p_to (kicks the initiation policy).
+  void request(ProcessId from, ProcessId to);
+
+  /// p_from replies to p_to's pending request.
+  void reply(ProcessId from, ProcessId to);
+
+  /// Deadlock declarations observed so far (chronological).
+  [[nodiscard]] const std::vector<DeadlockEvent>& detections() const {
+    return detections_;
+  }
+
+  /// Invoked synchronously at the instant a process declares deadlock --
+  /// the oracle still reflects that exact moment, so QRP2 can be asserted
+  /// literally ("on a black cycle at the time the probe is received").
+  using DetectionCallback = std::function<void(const DeadlockEvent&)>;
+  void set_detection_callback(DetectionCallback cb) {
+    on_detection_ = std::move(cb);
+  }
+
+  /// Sum of a per-process counter across the cluster.
+  [[nodiscard]] core::ProcessStats total_stats() const;
+
+  /// Per-delivery hooks (run after the process handled the message).  Used
+  /// by workloads and baseline detectors to react to request/reply arrivals.
+  using DeliveryHook =
+      std::function<void(ProcessId to, ProcessId from, const core::Message&)>;
+  void add_delivery_hook(DeliveryHook hook) {
+    hooks_.push_back(std::move(hook));
+  }
+
+  /// Runs the simulator until idle; returns final virtual time.
+  SimTime run() { return sim_.run(); }
+
+  /// Runs until the first deadlock declaration or until idle.  Returns true
+  /// if a declaration happened.
+  bool run_until_detection();
+
+ private:
+  void on_delivery(ProcessId to, ProcessId from, const Bytes& payload);
+
+  sim::Simulator sim_;
+  SimTimerService timers_;
+  graph::WaitForGraph oracle_;
+  std::vector<std::unique_ptr<core::BasicProcess>> processes_;
+  std::vector<DeadlockEvent> detections_;
+  std::vector<DeliveryHook> hooks_;
+  DetectionCallback on_detection_;
+};
+
+}  // namespace cmh::runtime

@@ -1,0 +1,197 @@
+#include "runtime/threaded_cluster.h"
+
+#include <stdexcept>
+
+namespace cmh::runtime {
+
+// ---- ThreadTimerService -----------------------------------------------------
+
+ThreadTimerService::ThreadTimerService() : worker_([this] { loop(); }) {}
+
+ThreadTimerService::~ThreadTimerService() { stop(); }
+
+void ThreadTimerService::stop() {
+  {
+    std::scoped_lock lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void ThreadTimerService::schedule(SimTime delay, std::function<void()> fn) {
+  const auto at = std::chrono::steady_clock::now() +
+                  std::chrono::microseconds(delay.micros);
+  {
+    std::scoped_lock lock(mutex_);
+    if (stopping_) return;
+    pending_.emplace(at, std::move(fn));
+  }
+  cv_.notify_all();
+}
+
+void ThreadTimerService::loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (stopping_) return;
+    if (pending_.empty()) {
+      cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      continue;
+    }
+    const auto next = pending_.begin()->first;
+    if (cv_.wait_until(lock, next, [&] {
+          return stopping_ ||
+                 (!pending_.empty() && pending_.begin()->first <= next &&
+                  std::chrono::steady_clock::now() >= pending_.begin()->first);
+        })) {
+      if (stopping_) return;
+    }
+    // Fire everything due.
+    const auto now = std::chrono::steady_clock::now();
+    while (!pending_.empty() && pending_.begin()->first <= now) {
+      auto fn = std::move(pending_.begin()->second);
+      pending_.erase(pending_.begin());
+      lock.unlock();
+      fn();
+      lock.lock();
+      if (stopping_) return;
+    }
+  }
+}
+
+// ---- ThreadedCluster --------------------------------------------------------
+
+namespace {
+
+/// Wraps the shared timer service so that a process's scheduled callbacks
+/// run under that process's mutex (the kDelayed initiation timer calls back
+/// into BasicProcess and must not race with message delivery).
+class LockingTimerService final : public core::TimerService {
+ public:
+  LockingTimerService(core::TimerService& inner, std::mutex& mutex)
+      : inner_(inner), mutex_(mutex) {}
+
+  void schedule(SimTime delay, std::function<void()> fn) override {
+    inner_.schedule(delay, [&m = mutex_, f = std::move(fn)] {
+      std::scoped_lock lock(m);
+      f();
+    });
+  }
+
+ private:
+  core::TimerService& inner_;
+  std::mutex& mutex_;
+};
+
+}  // namespace
+
+ThreadedCluster::ThreadedCluster(net::Transport& transport, std::uint32_t n,
+                                 core::Options options)
+    : transport_(transport) {
+  cells_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    cells_.push_back(std::make_unique<Cell>());
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ProcessId id{i};
+    Cell& cell = *cells_[i];
+    cell.timer_adapter =
+        std::make_unique<LockingTimerService>(timers_, cell.mutex);
+    cell.process = std::make_unique<core::BasicProcess>(
+        id,
+        [this, id](ProcessId to, const Bytes& payload) {
+          transport_.send(id.value(), to.value(), payload);
+        },
+        options, cell.timer_adapter.get());
+    cell.process->set_deadlock_callback([this, id](const ProbeTag&) {
+      {
+        std::scoped_lock lock(detect_mutex_);
+        detections_.push_back(id);
+      }
+      detect_cv_.notify_all();
+    });
+    const auto node = transport_.add_node(
+        [this, i](net::NodeId from, const Bytes& payload) {
+          Cell& c = *cells_[i];
+          std::scoped_lock lock(c.mutex);
+          const auto st = c.process->on_message(ProcessId{from}, payload);
+          if (!st.ok()) {
+            // Malformed frame from a peer: drop (logged by caller layers).
+          }
+        });
+    if (node != i) {
+      throw std::logic_error("ThreadedCluster: transport already had nodes");
+    }
+  }
+  transport_.start();
+}
+
+ThreadedCluster::~ThreadedCluster() { stop(); }
+
+void ThreadedCluster::stop() {
+  {
+    std::scoped_lock lock(detect_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  timers_.stop();
+  transport_.stop();
+}
+
+void ThreadedCluster::request(ProcessId from, ProcessId to) {
+  Cell& cell = *cells_.at(from.value());
+  std::scoped_lock lock(cell.mutex);
+  cell.process->send_request(to);
+}
+
+void ThreadedCluster::reply(ProcessId from, ProcessId to) {
+  Cell& cell = *cells_.at(from.value());
+  std::scoped_lock lock(cell.mutex);
+  cell.process->send_reply(to);
+}
+
+std::optional<ProbeTag> ThreadedCluster::initiate(ProcessId p) {
+  Cell& cell = *cells_.at(p.value());
+  std::scoped_lock lock(cell.mutex);
+  return cell.process->initiate();
+}
+
+bool ThreadedCluster::deadlocked(ProcessId p) const {
+  const Cell& cell = *cells_.at(p.value());
+  std::scoped_lock lock(cell.mutex);
+  return cell.process->deadlocked();
+}
+
+bool ThreadedCluster::declared(ProcessId p) const {
+  const Cell& cell = *cells_.at(p.value());
+  std::scoped_lock lock(cell.mutex);
+  return cell.process->declared_deadlock();
+}
+
+core::ProcessStats ThreadedCluster::stats(ProcessId p) const {
+  const Cell& cell = *cells_.at(p.value());
+  std::scoped_lock lock(cell.mutex);
+  return cell.process->stats();
+}
+
+std::set<graph::Edge> ThreadedCluster::wfgd_edges(ProcessId p) const {
+  const Cell& cell = *cells_.at(p.value());
+  std::scoped_lock lock(cell.mutex);
+  return cell.process->wfgd_edges();
+}
+
+std::optional<ProcessId> ThreadedCluster::wait_for_detection(
+    std::chrono::milliseconds max) {
+  std::unique_lock lock(detect_mutex_);
+  detect_cv_.wait_for(lock, max, [&] { return !detections_.empty(); });
+  if (detections_.empty()) return std::nullopt;
+  return detections_.front();
+}
+
+std::size_t ThreadedCluster::detection_count() const {
+  std::scoped_lock lock(detect_mutex_);
+  return detections_.size();
+}
+
+}  // namespace cmh::runtime

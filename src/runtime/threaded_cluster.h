@@ -1,0 +1,96 @@
+// ThreadedCluster -- hosts BasicProcess instances on a real (threaded)
+// Transport: InMemoryTransport or TcpTransport.
+//
+// Each process is guarded by its own mutex; the transport's per-node
+// delivery serialization plus this mutex give the paper's atomic-step
+// property even when the application thread issues requests concurrently
+// with message deliveries.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/basic_process.h"
+#include "net/transport.h"
+
+namespace cmh::runtime {
+
+/// TimerService driven by a dedicated scheduler thread (wall clock).
+class ThreadTimerService final : public core::TimerService {
+ public:
+  ThreadTimerService();
+  ~ThreadTimerService() override;
+
+  ThreadTimerService(const ThreadTimerService&) = delete;
+  ThreadTimerService& operator=(const ThreadTimerService&) = delete;
+
+  void schedule(SimTime delay, std::function<void()> fn) override;
+  void stop();
+
+ private:
+  void loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::multimap<std::chrono::steady_clock::time_point, std::function<void()>>
+      pending_;
+  bool stopping_{false};
+  std::thread worker_;
+};
+
+class ThreadedCluster {
+ public:
+  /// The transport must be freshly constructed (no nodes yet) and outlive
+  /// the cluster.  The cluster registers n nodes and starts the transport.
+  ThreadedCluster(net::Transport& transport, std::uint32_t n,
+                  core::Options options);
+  ~ThreadedCluster();
+
+  ThreadedCluster(const ThreadedCluster&) = delete;
+  ThreadedCluster& operator=(const ThreadedCluster&) = delete;
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(cells_.size());
+  }
+
+  void request(ProcessId from, ProcessId to);
+  void reply(ProcessId from, ProcessId to);
+  std::optional<ProbeTag> initiate(ProcessId p);
+
+  /// Thread-safe snapshot helpers.
+  [[nodiscard]] bool deadlocked(ProcessId p) const;
+  [[nodiscard]] bool declared(ProcessId p) const;
+  [[nodiscard]] core::ProcessStats stats(ProcessId p) const;
+  [[nodiscard]] std::set<graph::Edge> wfgd_edges(ProcessId p) const;
+
+  /// Blocks until some process declares deadlock or the timeout elapses.
+  /// Returns the declarer if any.
+  std::optional<ProcessId> wait_for_detection(std::chrono::milliseconds max);
+
+  /// Total declarations so far.
+  [[nodiscard]] std::size_t detection_count() const;
+
+  void stop();
+
+ private:
+  struct Cell {
+    mutable std::mutex mutex;
+    std::unique_ptr<core::TimerService> timer_adapter;
+    std::unique_ptr<core::BasicProcess> process;
+  };
+
+  net::Transport& transport_;
+  ThreadTimerService timers_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+
+  mutable std::mutex detect_mutex_;
+  std::condition_variable detect_cv_;
+  std::vector<ProcessId> detections_;
+  bool stopped_{false};
+};
+
+}  // namespace cmh::runtime

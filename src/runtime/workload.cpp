@@ -1,0 +1,95 @@
+#include "runtime/workload.h"
+
+#include <stdexcept>
+
+namespace cmh::runtime {
+
+RandomWorkload::RandomWorkload(SimCluster& cluster, WorkloadConfig config,
+                               std::uint64_t seed)
+    : cluster_(cluster), config_(config), rng_(seed) {}
+
+void RandomWorkload::start() {
+  cluster_.add_delivery_hook(
+      [this](ProcessId to, ProcessId from, const core::Message& msg) {
+        if (std::holds_alternative<core::RequestMsg>(msg)) {
+          maybe_serve(to);
+        } else if (std::holds_alternative<core::ReplyMsg>(msg)) {
+          // `to` may have just become active; serve its queue.
+          (void)from;
+          maybe_serve(to);
+        }
+      });
+  schedule_next_arrival();
+}
+
+void RandomWorkload::schedule_next_arrival() {
+  if (cluster_.simulator().now() >= config_.issue_until) return;
+  // Uniform in [0.5, 1.5) x mean keeps determinism simple and bounded.
+  const auto gap = SimTime::us(static_cast<std::int64_t>(
+      static_cast<double>(config_.mean_interarrival.micros) *
+      (0.5 + rng_.uniform())));
+  cluster_.simulator().schedule(gap, [this] {
+    issue_random_request();
+    schedule_next_arrival();
+  });
+}
+
+void RandomWorkload::issue_random_request() {
+  const std::uint32_t n = cluster_.size();
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    ProcessId from{static_cast<std::uint32_t>(rng_.below(n))};
+    ProcessId to{static_cast<std::uint32_t>(rng_.below(n))};
+    if (from == to) continue;
+    if (config_.ordered_requests && to < from) std::swap(from, to);
+    auto& p = cluster_.process(from);
+    if (p.waits_for().size() >= config_.max_outstanding) continue;
+    if (!config_.blocked_may_request && p.blocked()) continue;
+    if (p.waits_for().contains(to)) continue;
+    if (p.deadlocked()) continue;
+    cluster_.request(from, to);
+    ++requests_issued_;
+    // A dark cycle can only be completed by an edge creation; check here so
+    // first_deadlock_at_ is exact.
+    if (!first_deadlock_at_ && cluster_.oracle().on_dark_cycle(from)) {
+      first_deadlock_at_ = cluster_.simulator().now();
+    }
+    return;
+  }
+}
+
+void RandomWorkload::maybe_serve(ProcessId server) {
+  auto& p = cluster_.process(server);
+  if (p.blocked()) return;  // will be retried when it becomes active
+  for (const ProcessId client : p.held_requests()) {
+    const auto service = SimTime::us(static_cast<std::int64_t>(
+        static_cast<double>(config_.mean_service.micros) *
+        (0.5 + rng_.uniform())));
+    cluster_.simulator().schedule(
+        service, [this, server, client] { try_reply(server, client); });
+  }
+}
+
+void RandomWorkload::try_reply(ProcessId server, ProcessId client) {
+  auto& p = cluster_.process(server);
+  if (p.blocked()) return;  // became blocked meanwhile; retried on activation
+  if (!p.held_requests().contains(client)) return;  // already served
+  cluster_.reply(server, client);
+}
+
+void issue_scenario(SimCluster& cluster, const graph::Scenario& scenario) {
+  for (const graph::Op& op : scenario.script) {
+    switch (op.kind) {
+      case graph::OpKind::kCreate:
+        cluster.request(op.edge.from, op.edge.to);
+        break;
+      case graph::OpKind::kBlacken:
+        break;  // happens on delivery
+      case graph::OpKind::kWhiten:
+      case graph::OpKind::kRemove:
+        throw std::invalid_argument(
+            "issue_scenario: scenario contains reply ops");
+    }
+  }
+}
+
+}  // namespace cmh::runtime

@@ -1,0 +1,74 @@
+// Workload drivers for the simulator-hosted cluster.
+//
+// RandomWorkload emulates the resource behaviour the paper's model
+// abstracts: an *active* process serves (replies to) requests after a
+// service delay; a *blocked* process defers them until it becomes active --
+// and a process on a dark cycle therefore never serves them, wedging every
+// requester transitively.  Deadlocks arise organically under contention;
+// the cluster's oracle provides ground truth.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "runtime/sim_cluster.h"
+
+namespace cmh::runtime {
+
+struct WorkloadConfig {
+  /// Mean gap between request-issue attempts across the whole cluster.
+  SimTime mean_interarrival{SimTime::us(200)};
+  /// Delay between receiving a request (while active) and replying.
+  SimTime mean_service{SimTime::ms(1)};
+  /// Maximum outstanding requests per process (AND-model fan-out).
+  std::uint32_t max_outstanding{2};
+  /// Allow a blocked process to issue further requests (the basic model
+  /// permits it; resource systems do it when acquiring multiple locks).
+  bool blocked_may_request{true};
+  /// Stop issuing new requests at this virtual time (replies continue).
+  SimTime issue_until{SimTime::ms(50)};
+  /// Only request from lower ids to higher ids -- the classic resource-
+  /// ordering discipline.  The wait-for graph then follows a fixed
+  /// topological order and deadlock is impossible; used by benches that
+  /// need contended-but-live traffic.
+  bool ordered_requests{false};
+};
+
+class RandomWorkload {
+ public:
+  RandomWorkload(SimCluster& cluster, WorkloadConfig config,
+                 std::uint64_t seed);
+
+  /// Installs hooks and schedules the first arrival.  Call once, then run
+  /// the cluster's simulator.
+  void start();
+
+  /// Virtual time at which the oracle first contained a dark cycle, if ever.
+  [[nodiscard]] std::optional<SimTime> first_deadlock_at() const {
+    return first_deadlock_at_;
+  }
+
+  [[nodiscard]] std::uint64_t requests_issued() const {
+    return requests_issued_;
+  }
+
+ private:
+  void schedule_next_arrival();
+  void issue_random_request();
+  void maybe_serve(ProcessId server);
+  void try_reply(ProcessId server, ProcessId client);
+
+  SimCluster& cluster_;
+  WorkloadConfig config_;
+  Rng rng_;
+  std::optional<SimTime> first_deadlock_at_;
+  std::uint64_t requests_issued_{0};
+};
+
+/// Issues the dark edges of a generator scenario as real requests on the
+/// cluster (create ops only; blackening happens on delivery).  The scenario
+/// must not contain whiten/remove ops.
+void issue_scenario(SimCluster& cluster, const graph::Scenario& scenario);
+
+}  // namespace cmh::runtime

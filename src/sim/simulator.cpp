@@ -1,0 +1,97 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cmh::sim {
+
+namespace {
+std::uint64_t channel_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+}  // namespace
+
+Simulator::Simulator(std::uint64_t seed, DelayModel delays)
+    : rng_(seed), delays_(delays) {}
+
+NodeId Simulator::add_node(MessageHandler handler) {
+  nodes_.push_back(std::move(handler));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Simulator::set_handler(NodeId node, MessageHandler handler) {
+  nodes_.at(node) = std::move(handler);
+}
+
+SimTime Simulator::draw_delay() {
+  const auto span =
+      static_cast<std::uint64_t>(delays_.max.micros - delays_.min.micros);
+  if (span == 0) return delays_.min;
+  return SimTime::us(delays_.min.micros +
+                     static_cast<std::int64_t>(rng_.below(span + 1)));
+}
+
+void Simulator::send(NodeId from, NodeId to, Bytes payload) {
+  if (to >= nodes_.size()) {
+    throw std::out_of_range("Simulator::send: unknown destination node");
+  }
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+
+  SimTime deliver_at = now_ + draw_delay();
+  // FIFO per channel: never deliver before an earlier message on the same
+  // channel.  (+1us keeps distinct deliveries strictly ordered.)
+  auto& front = channel_front_[channel_key(from, to)];
+  if (deliver_at <= front) deliver_at = front + SimTime::us(1);
+  front = deliver_at;
+
+  push(deliver_at, [this, from, to, p = std::move(payload)]() {
+    ++stats_.messages_delivered;
+    if (nodes_[to]) nodes_[to](from, p);
+  });
+}
+
+void Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  if (delay.micros < 0) {
+    throw std::invalid_argument("Simulator::schedule: negative delay");
+  }
+  push(now_ + delay, [this, f = std::move(fn)]() {
+    ++stats_.timers_fired;
+    f();
+  });
+}
+
+void Simulator::push(SimTime at, std::function<void()> fn) {
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the event is copied out so the
+  // handler may enqueue further events safely.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++stats_.events_processed;
+  ev.fn();
+  return true;
+}
+
+SimTime Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+bool Simulator::run_while_pending(const std::function<bool()>& pred) {
+  while (!pred() && step()) {
+  }
+  return pred();
+}
+
+}  // namespace cmh::sim

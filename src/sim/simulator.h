@@ -1,0 +1,117 @@
+// Deterministic discrete-event simulator.
+//
+// Hosts a set of nodes that exchange byte-payload messages over reliable,
+// in-order, finite-delay channels -- exactly the communication assumption of
+// the paper ("messages are received correctly and in order", P4/finite
+// delivery).  Per-message delays are drawn from a seeded distribution; FIFO
+// order per (src,dst) channel is enforced by clamping each delivery to be no
+// earlier than the previous delivery on the same channel.
+//
+// The simulator also provides timers, which the initiation policies and the
+// workload drivers use, and counters for the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/time.h"
+
+namespace cmh::sim {
+
+using NodeId = std::uint32_t;
+
+/// Distribution of per-message network delays.
+struct DelayModel {
+  SimTime min{SimTime::us(50)};
+  SimTime max{SimTime::us(500)};
+
+  static DelayModel fixed(SimTime d) { return {d, d}; }
+  static DelayModel uniform(SimTime lo, SimTime hi) { return {lo, hi}; }
+};
+
+/// Counters exposed to tests and benchmarks.
+struct SimStats {
+  std::uint64_t messages_sent{0};
+  std::uint64_t messages_delivered{0};
+  std::uint64_t bytes_sent{0};
+  std::uint64_t timers_fired{0};
+  std::uint64_t events_processed{0};
+};
+
+class Simulator {
+ public:
+  using MessageHandler =
+      std::function<void(NodeId from, const Bytes& payload)>;
+
+  explicit Simulator(std::uint64_t seed = 1,
+                     DelayModel delays = DelayModel{});
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Registers a node; returns its id (dense, starting at 0).
+  NodeId add_node(MessageHandler handler);
+
+  /// Replaces the handler of an existing node (used by harnesses that
+  /// construct nodes after wiring).
+  void set_handler(NodeId node, MessageHandler handler);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Enqueues a message for in-order delivery after a random delay.
+  void send(NodeId from, NodeId to, Bytes payload);
+
+  /// Schedules `fn` to run at now() + delay.
+  void schedule(SimTime delay, std::function<void()> fn);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] const SimStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = SimStats{}; }
+
+  /// Processes the single earliest pending event.  Returns false if idle.
+  bool step();
+
+  /// Runs until no events remain.  Returns the final virtual time.
+  SimTime run();
+
+  /// Runs until the given virtual time (inclusive) or until idle.
+  void run_until(SimTime t);
+
+  /// Runs until `pred()` holds or the event queue drains; returns pred().
+  bool run_while_pending(const std::function<bool()>& pred);
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return b.time < a.time;
+      return b.seq < a.seq;
+    }
+  };
+
+  void push(SimTime at, std::function<void()> fn);
+  SimTime draw_delay();
+
+  SimTime now_{SimTime::zero()};
+  std::uint64_t next_seq_{0};
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<MessageHandler> nodes_;
+  // Last scheduled delivery time per (src,dst), for FIFO enforcement.
+  std::unordered_map<std::uint64_t, SimTime> channel_front_;
+  Rng rng_;
+  DelayModel delays_;
+  SimStats stats_;
+};
+
+}  // namespace cmh::sim

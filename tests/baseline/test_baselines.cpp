@@ -1,0 +1,203 @@
+// Baseline detectors: they find planted deadlocks, attribute message costs,
+// and exhibit (or avoid) the phantom-deadlock failure mode.
+#include <gtest/gtest.h>
+
+#include "baseline/centralized.h"
+#include "baseline/path_pushing.h"
+#include "baseline/timeout.h"
+#include "graph/generators.h"
+#include "runtime/sim_cluster.h"
+#include "runtime/workload.h"
+
+namespace cmh::baseline {
+namespace {
+
+using runtime::SimCluster;
+
+core::Options manual_opts() {
+  core::Options o;
+  o.initiation = core::InitiationMode::kManual;
+  return o;
+}
+
+// ---- centralized -----------------------------------------------------------------
+
+TEST(Centralized, DetectsPlantedRing) {
+  SimCluster cluster(16, manual_opts(), 1);
+  CentralizedDetector det(cluster, SimTime::ms(5));
+  det.start();
+  runtime::issue_scenario(cluster, graph::make_ring(16, 6));
+  cluster.simulator().run_until(SimTime::ms(50));
+  det.stop();
+  cluster.run();
+  ASSERT_FALSE(det.detections().empty());
+  EXPECT_TRUE(det.detections()[0].real);
+  EXPECT_GT(det.messages_sent(), 0u);
+  EXPECT_GT(det.bytes_sent(), 0u);
+}
+
+TEST(Centralized, ConsistentVariantDetectsToo) {
+  SimCluster cluster(16, manual_opts(), 2);
+  CentralizedDetector det(cluster, SimTime::ms(5), /*consistent=*/true);
+  det.start();
+  runtime::issue_scenario(cluster, graph::make_ring(16, 4));
+  cluster.simulator().run_until(SimTime::ms(50));
+  det.stop();
+  cluster.run();
+  ASSERT_FALSE(det.detections().empty());
+  EXPECT_TRUE(det.detections()[0].real);
+}
+
+TEST(Centralized, SilentOnAcyclicWaits) {
+  SimCluster cluster(16, manual_opts(), 3);
+  CentralizedDetector det(cluster, SimTime::ms(5));
+  det.start();
+  runtime::issue_scenario(cluster, graph::make_acyclic(16, 30, 4));
+  cluster.simulator().run_until(SimTime::ms(50));
+  det.stop();
+  cluster.run();
+  EXPECT_TRUE(det.detections().empty());
+}
+
+TEST(Centralized, ConsistentVariantNeverPhantoms) {
+  // Churny workload: waits form and dissolve constantly.
+  SimCluster cluster(12, manual_opts(), 5);
+  CentralizedDetector det(cluster, SimTime::ms(2), /*consistent=*/true);
+  det.start();
+  runtime::WorkloadConfig wl;
+  wl.issue_until = SimTime::ms(60);
+  runtime::RandomWorkload workload(cluster, wl, 6);
+  workload.start();
+  cluster.simulator().run_until(SimTime::ms(80));
+  det.stop();
+  cluster.run();
+  EXPECT_EQ(det.phantom_detections(), 0u);
+}
+
+TEST(Centralized, ReportsSameWedgeOnce) {
+  SimCluster cluster(8, manual_opts(), 7);
+  CentralizedDetector det(cluster, SimTime::ms(2));
+  det.start();
+  runtime::issue_scenario(cluster, graph::make_ring(8, 3));
+  cluster.simulator().run_until(SimTime::ms(100));  // many periods
+  det.stop();
+  cluster.run();
+  EXPECT_EQ(det.detections().size(), 1u);
+}
+
+// ---- path pushing -----------------------------------------------------------------
+
+TEST(PathPushing, DetectsPlantedRing) {
+  SimCluster cluster(12, manual_opts(), 8);
+  PathPushingDetector det(cluster, SimTime::ms(3));
+  det.start();
+  runtime::issue_scenario(cluster, graph::make_ring(12, 5));
+  cluster.simulator().run_until(SimTime::ms(100));
+  det.stop();
+  cluster.run();
+  ASSERT_FALSE(det.detections().empty());
+  EXPECT_TRUE(det.detections()[0].real);
+}
+
+TEST(PathPushing, OrderedPushDetectsWithFewerMessages) {
+  auto run = [](bool ordered) {
+    SimCluster cluster(12, manual_opts(), 9);
+    PathPushingDetector det(cluster, SimTime::ms(3), ordered);
+    det.start();
+    runtime::issue_scenario(cluster, graph::make_ring(12, 8));
+    cluster.simulator().run_until(SimTime::ms(150));
+    det.stop();
+    cluster.run();
+    return std::pair{det.detections().size(), det.bytes_sent()};
+  };
+  const auto [plain_found, plain_bytes] = run(false);
+  const auto [ordered_found, ordered_bytes] = run(true);
+  EXPECT_GT(plain_found, 0u);
+  EXPECT_GT(ordered_found, 0u);
+  EXPECT_LT(ordered_bytes, plain_bytes);
+}
+
+TEST(PathPushing, SilentOnAcyclicWaits) {
+  SimCluster cluster(16, manual_opts(), 10);
+  PathPushingDetector det(cluster, SimTime::ms(3));
+  det.start();
+  runtime::issue_scenario(cluster, graph::make_acyclic(16, 30, 11));
+  cluster.simulator().run_until(SimTime::ms(80));
+  det.stop();
+  cluster.run();
+  EXPECT_TRUE(det.detections().empty());
+}
+
+TEST(PathPushing, DetectionLatencyGrowsWithCycleLength) {
+  auto latency = [](std::uint32_t len) {
+    SimCluster cluster(len, manual_opts(), 12);
+    PathPushingDetector det(cluster, SimTime::ms(2));
+    det.start();
+    runtime::issue_scenario(cluster, graph::make_ring(len, len));
+    cluster.simulator().run_until(SimTime::sec(2));
+    det.stop();
+    cluster.run();
+    EXPECT_FALSE(det.detections().empty()) << "L=" << len;
+    return det.detections().empty() ? SimTime::zero()
+                                    : det.detections()[0].at;
+  };
+  // Information travels one hop per round: latency scales with L.
+  EXPECT_LT(latency(3), latency(24));
+}
+
+// ---- timeout ------------------------------------------------------------------------
+
+TEST(Timeout, FlagsWedgedProcesses) {
+  SimCluster cluster(6, manual_opts(), 13);
+  TimeoutDetector det(cluster, SimTime::ms(10));
+  det.start();
+  runtime::issue_scenario(cluster, graph::make_ring(6, 3));
+  cluster.simulator().run_until(SimTime::ms(60));
+  det.stop();
+  cluster.run();
+  ASSERT_FALSE(det.detections().empty());
+  // Cycle members are real detections.
+  std::size_t real = 0;
+  for (const auto& d : det.detections()) real += d.real ? 1 : 0;
+  EXPECT_GE(real, 3u);
+  EXPECT_EQ(det.messages_sent(), 0u);
+}
+
+TEST(Timeout, LongWaitChainProducesPhantoms) {
+  // A long but deadlock-free chain: the head never replies within the
+  // timeout because the tail serves slowly -- the timeout detector calls
+  // every chain member deadlocked.  All phantom.
+  SimCluster cluster(8, manual_opts(), 14);
+  TimeoutDetector det(cluster, SimTime::ms(5));
+  det.start();
+  // 0 -> 1 -> ... -> 7; nobody replies during the window.
+  for (std::uint32_t i = 0; i + 1 < 8; ++i) {
+    cluster.request(ProcessId{i}, ProcessId{i + 1});
+  }
+  cluster.simulator().run_until(SimTime::ms(40));
+  det.stop();
+  // Now the chain unwinds normally -- it was never deadlocked.
+  for (std::uint32_t i = 8; i-- > 1;) {
+    cluster.reply(ProcessId{i}, ProcessId{i - 1});
+    cluster.run();
+  }
+  EXPECT_GT(det.phantom_detections(), 0u);
+  EXPECT_EQ(det.real_detections(), 0u);
+  EXPECT_TRUE(cluster.oracle().deadlocked_vertices().empty());
+}
+
+TEST(Timeout, QuickRepliesNeverFlagged) {
+  SimCluster cluster(6, manual_opts(), 15);
+  TimeoutDetector det(cluster, SimTime::ms(20));
+  det.start();
+  cluster.request(ProcessId{0}, ProcessId{1});
+  cluster.simulator().run_until(SimTime::ms(2));
+  cluster.reply(ProcessId{1}, ProcessId{0});
+  cluster.simulator().run_until(SimTime::ms(60));
+  det.stop();
+  cluster.run();
+  EXPECT_TRUE(det.detections().empty());
+}
+
+}  // namespace
+}  // namespace cmh::baseline

@@ -1,0 +1,102 @@
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace cmh {
+namespace {
+
+TEST(StrongId, DefaultIsZero) {
+  EXPECT_EQ(ProcessId{}.value(), 0u);
+  EXPECT_EQ(SiteId{}.value(), 0u);
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  EXPECT_EQ(ProcessId{42}.value(), 42u);
+  EXPECT_EQ(TransactionId{7}.value(), 7u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(ProcessId{1}, ProcessId{2});
+  EXPECT_EQ(ProcessId{3}, ProcessId{3});
+  EXPECT_NE(ProcessId{3}, ProcessId{4});
+  EXPECT_GT(SiteId{9}, SiteId{2});
+}
+
+TEST(StrongId, StreamingUsesPrefix) {
+  std::ostringstream os;
+  os << ProcessId{5} << ' ' << TransactionId{6} << ' ' << SiteId{7} << ' '
+     << ResourceId{8};
+  EXPECT_EQ(os.str(), "p5 T6 S7 r8");
+}
+
+TEST(StrongId, ToString) {
+  EXPECT_EQ(ProcessId{12}.to_string(), "p12");
+  EXPECT_EQ(ResourceId{0}.to_string(), "r0");
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<ProcessId> set;
+  set.insert(ProcessId{1});
+  set.insert(ProcessId{2});
+  set.insert(ProcessId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(ProcessId{2}));
+  EXPECT_FALSE(set.contains(ProcessId{3}));
+}
+
+TEST(StrongId, DistinctTagTypesDoNotMix) {
+  // Compile-time property: ProcessId and SiteId are different types.
+  static_assert(!std::is_same_v<ProcessId, SiteId>);
+  static_assert(!std::is_same_v<TransactionId, ResourceId>);
+}
+
+TEST(AgentId, OrderingAndEquality) {
+  const AgentId a{TransactionId{1}, SiteId{2}};
+  const AgentId b{TransactionId{1}, SiteId{3}};
+  const AgentId c{TransactionId{2}, SiteId{0}};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (AgentId{TransactionId{1}, SiteId{2}}));
+}
+
+TEST(AgentId, Streaming) {
+  std::ostringstream os;
+  os << AgentId{TransactionId{3}, SiteId{1}};
+  EXPECT_EQ(os.str(), "(T3,S1)");
+}
+
+TEST(AgentId, Hashable) {
+  std::unordered_set<AgentId> set;
+  set.insert({TransactionId{1}, SiteId{1}});
+  set.insert({TransactionId{1}, SiteId{2}});
+  set.insert({TransactionId{1}, SiteId{1}});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ProbeTag, OrderingBySequence) {
+  const ProbeTag a{ProcessId{1}, 1};
+  const ProbeTag b{ProcessId{1}, 2};
+  const ProbeTag c{ProcessId{2}, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);  // initiator dominates
+}
+
+TEST(ProbeTag, Streaming) {
+  std::ostringstream os;
+  os << ProbeTag{ProcessId{4}, 17};
+  EXPECT_EQ(os.str(), "(p4,17)");
+}
+
+TEST(ProbeTag, Hashable) {
+  std::unordered_set<ProbeTag> set;
+  set.insert({ProcessId{1}, 1});
+  set.insert({ProcessId{1}, 2});
+  set.insert({ProcessId{1}, 1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cmh

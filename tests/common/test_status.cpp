@@ -1,0 +1,68 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cmh {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s{StatusCode::kNotFound, "no such edge"};
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such edge");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: no such edge");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (const auto code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kUnavailable, StatusCode::kDeadlineExceeded,
+        StatusCode::kAborted, StatusCode::kInternal}) {
+    EXPECT_STRNE(to_string(code), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  const Result<int> r{42};
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> r{Status{StatusCode::kInternal, "boom"}};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  const Result<int> r{Status{StatusCode::kInternal, "boom"}};
+  EXPECT_THROW((void)r.value(), BadResultAccess);
+}
+
+TEST(Result, OkStatusRejected) {
+  EXPECT_THROW((Result<int>{Status::Ok()}), std::logic_error);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r{std::string("payload")};
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Result, ArrowOperator) {
+  const Result<std::string> r{std::string("abc")};
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace cmh

@@ -1,0 +1,214 @@
+// Probe-computation tests on the simulator-hosted cluster: end-to-end
+// detection with realistic message delays, checked against the global
+// oracle maintained by SimCluster.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "runtime/sim_cluster.h"
+#include "runtime/workload.h"
+
+namespace cmh {
+namespace {
+
+using graph::Scenario;
+using runtime::SimCluster;
+
+core::Options manual_opts() {
+  core::Options o;
+  o.initiation = core::InitiationMode::kManual;
+  return o;
+}
+
+// ---- planted rings, parameterized over size ------------------------------------
+
+struct RingCase {
+  std::uint32_t n;
+  std::uint32_t len;
+  std::uint64_t seed;
+};
+
+class SimRingTest : public ::testing::TestWithParam<RingCase> {};
+
+TEST_P(SimRingTest, OnRequestModeDetectsPlantedRing) {
+  const auto [n, len, seed] = GetParam();
+  SimCluster cluster(n, core::Options{}, seed);
+  runtime::issue_scenario(cluster, graph::make_ring(n, len));
+  ASSERT_TRUE(cluster.run_until_detection());
+  const auto& d = cluster.detections().front();
+  // QRP2 against the oracle at (or after) declaration: the declarer is
+  // genuinely on a dark cycle.
+  EXPECT_TRUE(cluster.oracle().on_dark_cycle(d.process));
+  EXPECT_LT(d.process.value(), len);
+}
+
+TEST_P(SimRingTest, EveryDeclarationIsSound) {
+  const auto [n, len, seed] = GetParam();
+  SimCluster cluster(n, core::Options{}, seed);
+  cluster.set_detection_callback([&](const runtime::DeadlockEvent& e) {
+    // Checked at the declaration instant (QRP2, literally).
+    EXPECT_TRUE(cluster.oracle().on_dark_cycle(e.process))
+        << e.process << " declared without being on a dark cycle";
+  });
+  runtime::issue_scenario(cluster, graph::make_ring(n, len));
+  cluster.run();
+  EXPECT_FALSE(cluster.detections().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimRingTest,
+    ::testing::Values(RingCase{2, 2, 1}, RingCase{4, 3, 2}, RingCase{8, 8, 3},
+                      RingCase{32, 16, 4}, RingCase{64, 64, 5},
+                      RingCase{128, 5, 6}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_L" +
+             std::to_string(info.param.len);
+    });
+
+// ---- soundness on deadlock-free workloads ----------------------------------------
+
+class AcyclicSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AcyclicSeedTest, NoFalseDeadlockOnAcyclicWaits) {
+  SimCluster cluster(30, core::Options{}, GetParam());
+  runtime::issue_scenario(cluster,
+                          graph::make_acyclic(30, 60, GetParam() * 7 + 1));
+  cluster.run();
+  EXPECT_TRUE(cluster.detections().empty());
+  EXPECT_TRUE(cluster.oracle().deadlocked_vertices().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcyclicSeedTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---- ring with tails: only cycle members declare ---------------------------------
+
+TEST(SimProbe, TailsNeverDeclare) {
+  SimCluster cluster(40, core::Options{}, 11);
+  runtime::issue_scenario(cluster, graph::make_ring_with_tails(40, 6, 25, 3));
+  cluster.run();
+  ASSERT_FALSE(cluster.detections().empty());
+  for (const auto& d : cluster.detections()) {
+    EXPECT_LT(d.process.value(), 6u) << "tail vertex declared deadlock";
+  }
+}
+
+// ---- manual initiation ----------------------------------------------------------
+
+TEST(SimProbe, ManualModeSilentWithoutInitiate) {
+  SimCluster cluster(8, manual_opts(), 1);
+  runtime::issue_scenario(cluster, graph::make_ring(8, 8));
+  cluster.run();
+  EXPECT_TRUE(cluster.detections().empty());  // nobody probed
+  EXPECT_EQ(cluster.oracle().deadlocked_vertices().size(), 8u);
+}
+
+TEST(SimProbe, ManualInitiateAfterWedgeDetects) {
+  SimCluster cluster(8, manual_opts(), 1);
+  runtime::issue_scenario(cluster, graph::make_ring(8, 8));
+  cluster.run();  // wedge fully forms; all edges black
+  ASSERT_TRUE(cluster.process(ProcessId{3}).initiate().has_value());
+  cluster.run();
+  ASSERT_EQ(cluster.detections().size(), 1u);
+  EXPECT_EQ(cluster.detections()[0].process, ProcessId{3});
+  EXPECT_EQ(cluster.detections()[0].tag.initiator, ProcessId{3});
+}
+
+TEST(SimProbe, ProbeCountBoundedByN) {
+  // Section 4.3: at most N probes per computation (one per edge out of each
+  // vertex, each vertex forwards once).
+  for (const std::uint32_t len : {4u, 16u, 64u}) {
+    SimCluster cluster(len, manual_opts(), 9);
+    runtime::issue_scenario(cluster, graph::make_ring(len, len));
+    cluster.run();
+    ASSERT_TRUE(cluster.process(ProcessId{0}).initiate().has_value());
+    cluster.run();
+    const auto stats = cluster.total_stats();
+    EXPECT_LE(stats.probes_sent, len);
+    EXPECT_EQ(stats.deadlocks_declared, 1u);
+  }
+}
+
+TEST(SimProbe, OffCycleInitiatorDoesNotDeclare) {
+  // Initiator waits on a cycle but is not part of it (QRP2: it must not
+  // declare itself deadlocked; the probe dies at the cycle since everyone
+  // there forwards at most once and the path never returns to the tail).
+  SimCluster cluster(4, manual_opts(), 2);
+  // 0 -> 1 -> 2 -> 1 (cycle 1<->2... build: 1->2, 2->1, 0->1)
+  cluster.request(ProcessId{1}, ProcessId{2});
+  cluster.request(ProcessId{2}, ProcessId{1});
+  cluster.request(ProcessId{0}, ProcessId{1});
+  cluster.run();
+  ASSERT_TRUE(cluster.process(ProcessId{0}).initiate().has_value());
+  cluster.run();
+  EXPECT_TRUE(cluster.detections().empty());
+  EXPECT_FALSE(cluster.process(ProcessId{0}).declared_deadlock());
+}
+
+// ---- delayed (timer-T) initiation -------------------------------------------------
+
+TEST(DelayedInitiation, TransientWaitAvoidsProbeComputation) {
+  core::Options o;
+  o.initiation = core::InitiationMode::kDelayed;
+  o.initiation_delay = SimTime::ms(10);
+  SimCluster cluster(2, o, 3);
+  // p0 requests p1; p1 replies quickly -- before T elapses.
+  cluster.request(ProcessId{0}, ProcessId{1});
+  cluster.simulator().run_until(SimTime::ms(2));
+  cluster.reply(ProcessId{1}, ProcessId{0});
+  cluster.run();
+  EXPECT_EQ(cluster.total_stats().computations_initiated, 0u);
+  EXPECT_TRUE(cluster.detections().empty());
+}
+
+TEST(DelayedInitiation, PersistentEdgeTriggersComputation) {
+  core::Options o;
+  o.initiation = core::InitiationMode::kDelayed;
+  o.initiation_delay = SimTime::ms(10);
+  SimCluster cluster(2, o, 3);
+  cluster.request(ProcessId{0}, ProcessId{1});
+  cluster.request(ProcessId{1}, ProcessId{0});
+  ASSERT_TRUE(cluster.run_until_detection());
+  // Detection cannot precede T (the latency floor of section 4.3).
+  EXPECT_GE(cluster.detections()[0].at, SimTime::ms(10));
+}
+
+TEST(DelayedInitiation, RecreatedEdgeRestartsClock) {
+  core::Options o;
+  o.initiation = core::InitiationMode::kDelayed;
+  o.initiation_delay = SimTime::ms(10);
+  SimCluster cluster(3, o, 3);
+  // Edge (0,1) lives [0, 5ms) then is replaced by (0,2) -- neither edge
+  // exists continuously for 10ms, so no computation starts.
+  cluster.request(ProcessId{0}, ProcessId{1});
+  cluster.simulator().run_until(SimTime::ms(5));
+  cluster.reply(ProcessId{1}, ProcessId{0});
+  cluster.simulator().run_until(SimTime::ms(8));
+  cluster.request(ProcessId{0}, ProcessId{2});
+  cluster.simulator().run_until(SimTime::ms(15));
+  cluster.reply(ProcessId{2}, ProcessId{0});
+  cluster.run();
+  EXPECT_EQ(cluster.total_stats().computations_initiated, 0u);
+}
+
+// ---- random workload smoke test ----------------------------------------------------
+
+TEST(Workload, RunsToQuiescenceAndOracleAgrees) {
+  SimCluster cluster(12, core::Options{}, 21);
+  runtime::RandomWorkload workload(
+      cluster, runtime::WorkloadConfig{.issue_until = SimTime::ms(20)}, 22);
+  workload.start();
+  cluster.run();
+  // At quiescence: either no deadlock anywhere and no detections, or a
+  // dark cycle exists and at least one of its members declared.
+  const auto deadlocked = cluster.oracle().deadlocked_vertices();
+  if (deadlocked.empty()) {
+    EXPECT_TRUE(cluster.detections().empty());
+    EXPECT_FALSE(workload.first_deadlock_at().has_value());
+  } else {
+    EXPECT_FALSE(cluster.detections().empty());
+    EXPECT_TRUE(workload.first_deadlock_at().has_value());
+  }
+}
+
+}  // namespace
+}  // namespace cmh

@@ -1,0 +1,147 @@
+// Section-5 WFGD computation: after a detection, every vertex learns the
+// edges on permanent black paths leading from it; validated against the
+// graph oracle's black-path fixpoint.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "runtime/sim_cluster.h"
+#include "runtime/workload.h"
+
+namespace cmh {
+namespace {
+
+using runtime::SimCluster;
+
+core::Options manual_with_wfgd() {
+  core::Options o;
+  o.initiation = core::InitiationMode::kManual;
+  o.propagate_wfgd = true;
+  return o;
+}
+
+/// Wedges a scenario, initiates at `initiator`, runs to quiescence, and
+/// returns the cluster for inspection.
+std::unique_ptr<SimCluster> detect(const graph::Scenario& scenario,
+                                   ProcessId initiator, std::uint64_t seed) {
+  auto cluster = std::make_unique<SimCluster>(scenario.n_processes,
+                                              manual_with_wfgd(), seed);
+  runtime::issue_scenario(*cluster, scenario);
+  cluster->run();
+  EXPECT_TRUE(cluster->process(initiator).initiate().has_value());
+  cluster->run();
+  return cluster;
+}
+
+TEST(Wfgd, RingMembersLearnFullCycle) {
+  const std::uint32_t len = 5;
+  auto cluster = detect(graph::make_ring(len, len), ProcessId{0}, 1);
+  ASSERT_EQ(cluster->detections().size(), 1u);
+  // Every ring member's S_j must equal the oracle's black-path edges from
+  // it to the initiator -- which for a pure ring is all cycle edges.
+  for (std::uint32_t i = 0; i < len; ++i) {
+    const auto& s = cluster->process(ProcessId{i}).wfgd_edges();
+    const auto expected =
+        cluster->oracle().black_path_edges_to(ProcessId{i}, ProcessId{0});
+    EXPECT_EQ(std::set<graph::Edge>(expected.begin(), expected.end()),
+              s)
+        << "S_" << i;
+    EXPECT_EQ(s.size(), len) << "S_" << i;
+  }
+}
+
+TEST(Wfgd, AllRingMembersMarkedDeadlocked) {
+  const std::uint32_t len = 7;
+  auto cluster = detect(graph::make_ring(len, len), ProcessId{2}, 2);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    EXPECT_TRUE(cluster->process(ProcessId{i}).deadlocked()) << i;
+  }
+  // Exactly one vertex *declared* (A1); the rest learnt via WFGD.
+  std::size_t declared = 0;
+  for (std::uint32_t i = 0; i < len; ++i) {
+    declared += cluster->process(ProcessId{i}).declared_deadlock() ? 1 : 0;
+  }
+  EXPECT_EQ(declared, 1u);
+}
+
+TEST(Wfgd, TailsLearnTheirPathsIntoTheCycle) {
+  // Ring 0..3 plus tails waiting into it; tails have permanent black paths
+  // leading from them and must discover exactly the oracle fixpoint.
+  const auto scenario = graph::make_ring_with_tails(12, 4, 10, 5);
+  auto cluster = detect(scenario, ProcessId{1}, 3);
+  ASSERT_FALSE(cluster->detections().empty());
+  const ProcessId initiator = cluster->detections()[0].process;
+  for (std::uint32_t i = 0; i < scenario.n_processes; ++i) {
+    const ProcessId v{i};
+    const auto expected =
+        cluster->oracle().black_path_edges_to(v, initiator);
+    const auto& got = cluster->process(v).wfgd_edges();
+    EXPECT_EQ(std::set<graph::Edge>(expected.begin(), expected.end()), got)
+        << "S_" << i;
+    if (!expected.empty()) {
+      EXPECT_TRUE(cluster->process(v).deadlocked()) << i;
+    }
+  }
+}
+
+TEST(Wfgd, ComputationTerminates) {
+  // "A WFGD computation will cease because a vertex never sends the same
+  // message twice" -- quiescence of the simulator run IS termination; also
+  // bound the message count: each vertex sends at most (distinct sets) x
+  // (black in-edges), and sets grow monotonically, so total messages are
+  // bounded by edges^2.  Check a generous bound.
+  const std::uint32_t len = 8;
+  auto cluster = detect(graph::make_ring(len, len), ProcessId{0}, 7);
+  const auto stats = cluster->total_stats();
+  EXPECT_GT(stats.wfgd_messages_sent, 0u);
+  EXPECT_LE(stats.wfgd_messages_sent,
+            static_cast<std::uint64_t>(len) * len);
+  EXPECT_EQ(stats.wfgd_messages_sent, stats.wfgd_messages_received);
+}
+
+TEST(Wfgd, DisabledOptionSendsNothing) {
+  core::Options o;
+  o.initiation = core::InitiationMode::kManual;
+  o.propagate_wfgd = false;
+  SimCluster cluster(4, o, 1);
+  runtime::issue_scenario(cluster, graph::make_ring(4, 4));
+  cluster.run();
+  ASSERT_TRUE(cluster.process(ProcessId{0}).initiate().has_value());
+  cluster.run();
+  EXPECT_EQ(cluster.total_stats().wfgd_messages_sent, 0u);
+  EXPECT_TRUE(cluster.process(ProcessId{1}).wfgd_edges().empty());
+  // Non-declaring members never learn they are deadlocked without WFGD.
+  EXPECT_FALSE(cluster.process(ProcessId{1}).deadlocked());
+}
+
+TEST(Wfgd, TwoCycleMinimalCase) {
+  auto cluster = detect(graph::make_ring(2, 2), ProcessId{0}, 9);
+  const std::set<graph::Edge> expected{
+      graph::Edge{ProcessId{0}, ProcessId{1}},
+      graph::Edge{ProcessId{1}, ProcessId{0}}};
+  EXPECT_EQ(cluster->process(ProcessId{0}).wfgd_edges(), expected);
+  EXPECT_EQ(cluster->process(ProcessId{1}).wfgd_edges(), expected);
+}
+
+class WfgdRandomTails
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WfgdRandomTails, FixpointMatchesOracleEverywhere) {
+  const auto scenario =
+      graph::make_ring_with_tails(24, 6, 20, GetParam());
+  auto cluster = detect(scenario, ProcessId{0}, GetParam());
+  ASSERT_FALSE(cluster->detections().empty());
+  const ProcessId initiator = cluster->detections()[0].process;
+  for (std::uint32_t i = 0; i < scenario.n_processes; ++i) {
+    const auto expected =
+        cluster->oracle().black_path_edges_to(ProcessId{i}, initiator);
+    EXPECT_EQ(std::set<graph::Edge>(expected.begin(), expected.end()),
+              cluster->process(ProcessId{i}).wfgd_edges())
+        << "vertex " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WfgdRandomTails,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace cmh

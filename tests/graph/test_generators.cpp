@@ -1,0 +1,173 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace cmh::graph {
+namespace {
+
+// ---- make_ring ----------------------------------------------------------------
+
+struct RingParam {
+  std::uint32_t n;
+  std::uint32_t cycle_len;
+};
+
+class RingTest : public ::testing::TestWithParam<RingParam> {};
+
+TEST_P(RingTest, ProducesExactDarkCycle) {
+  const auto [n, len] = GetParam();
+  const Scenario s = make_ring(n, len);
+  EXPECT_EQ(s.n_processes, n);
+  EXPECT_EQ(s.planted_cycle.size(), len);
+  const WaitForGraph g = replay(s, s.script.size());
+  EXPECT_EQ(g.edge_count(), len);
+  for (const ProcessId v : s.planted_cycle) {
+    EXPECT_TRUE(g.on_dark_cycle(v)) << v;
+  }
+  EXPECT_EQ(g.deadlocked_vertices().size(), len);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RingTest,
+                         ::testing::Values(RingParam{2, 2}, RingParam{3, 2},
+                                           RingParam{3, 3}, RingParam{8, 5},
+                                           RingParam{32, 32},
+                                           RingParam{100, 64}),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param.n) + "_L" +
+                                  std::to_string(info.param.cycle_len);
+                         });
+
+TEST(MakeRing, RejectsDegenerateParams) {
+  EXPECT_THROW(make_ring(4, 1), std::invalid_argument);
+  EXPECT_THROW(make_ring(4, 5), std::invalid_argument);
+}
+
+TEST(MakeRing, AllEdgesBlackAfterReplay) {
+  const Scenario s = make_ring(5, 5);
+  const WaitForGraph g = replay(s, s.script.size());
+  EXPECT_EQ(g.edges(EdgeColor::kBlack).size(), 5u);
+}
+
+// ---- make_ring_with_tails -------------------------------------------------------
+
+struct TailsParam {
+  std::uint32_t n;
+  std::uint32_t cycle_len;
+  std::uint32_t extra;
+  std::uint64_t seed;
+};
+
+class TailsTest : public ::testing::TestWithParam<TailsParam> {};
+
+TEST_P(TailsTest, CycleMembersUnchangedByTails) {
+  const auto [n, len, extra, seed] = GetParam();
+  const Scenario s = make_ring_with_tails(n, len, extra, seed);
+  const WaitForGraph g = replay(s, s.script.size());
+  // Exactly the planted ring is deadlocked; tails wait on it but are not on
+  // a cycle themselves.
+  const auto deadlocked = g.deadlocked_vertices();
+  EXPECT_EQ(deadlocked.size(), len);
+  for (const ProcessId v : deadlocked) {
+    EXPECT_LT(v.value(), len);
+  }
+}
+
+TEST_P(TailsTest, RequestedTailsMostlyPlaced) {
+  const auto [n, len, extra, seed] = GetParam();
+  const Scenario s = make_ring_with_tails(n, len, extra, seed);
+  const WaitForGraph g = replay(s, s.script.size());
+  if (n > len) {
+    EXPECT_GT(g.edge_count(), len);  // at least some tails placed
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TailsTest,
+    ::testing::Values(TailsParam{10, 3, 5, 1}, TailsParam{50, 10, 30, 2},
+                      TailsParam{100, 4, 80, 3}, TailsParam{20, 20, 5, 4}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_L" +
+             std::to_string(info.param.cycle_len) + "_e" +
+             std::to_string(info.param.extra);
+    });
+
+// ---- make_acyclic ---------------------------------------------------------------
+
+class AcyclicTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AcyclicTest, NeverContainsCycle) {
+  const Scenario s = make_acyclic(40, 120, GetParam());
+  const WaitForGraph g = replay(s, s.script.size());
+  EXPECT_TRUE(g.deadlocked_vertices().empty());
+  EXPECT_GT(g.edge_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AcyclicTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 12345));
+
+TEST(MakeAcyclic, RejectsTinyGraphs) {
+  EXPECT_THROW(make_acyclic(1, 1, 0), std::invalid_argument);
+}
+
+// ---- make_random_walk -------------------------------------------------------------
+
+class RandomWalkTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWalkTest, EveryPrefixIsAxiomConsistent) {
+  const Scenario s = make_random_walk(12, 300, GetParam());
+  // replay() throws on any axiom violation; check several prefixes.
+  for (const std::size_t cut :
+       {s.script.size() / 4, s.script.size() / 2, s.script.size()}) {
+    EXPECT_NO_THROW((void)replay(s, cut));
+  }
+}
+
+TEST_P(RandomWalkTest, DarkCyclesArePermanent) {
+  // Once a vertex is on a dark cycle it must stay on one for the rest of
+  // the script -- the paper's central observation (section 2.4).
+  const Scenario s = make_random_walk(10, 400, GetParam(), 0.6);
+  WaitForGraph g;
+  std::set<ProcessId> ever_deadlocked;
+  for (const Op& op : s.script) {
+    switch (op.kind) {
+      case OpKind::kCreate:
+        ASSERT_TRUE(g.create(op.edge.from, op.edge.to).ok());
+        break;
+      case OpKind::kBlacken:
+        ASSERT_TRUE(g.blacken(op.edge.from, op.edge.to).ok());
+        break;
+      case OpKind::kWhiten:
+        ASSERT_TRUE(g.whiten(op.edge.from, op.edge.to).ok());
+        break;
+      case OpKind::kRemove:
+        ASSERT_TRUE(g.remove(op.edge.from, op.edge.to).ok());
+        break;
+    }
+    for (const ProcessId v : ever_deadlocked) {
+      EXPECT_TRUE(g.on_dark_cycle(v))
+          << v << " left a dark cycle -- axiom violation";
+    }
+    for (const ProcessId v : g.deadlocked_vertices()) {
+      ever_deadlocked.insert(v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWalkTest,
+                         ::testing::Values(1, 7, 13, 42, 1234));
+
+// ---- replay ----------------------------------------------------------------------
+
+TEST(Replay, PrefixBeyondScriptRejected) {
+  const Scenario s = make_ring(3, 3);
+  EXPECT_THROW((void)replay(s, s.script.size() + 1), std::out_of_range);
+}
+
+TEST(Replay, EmptyPrefixGivesEmptyGraph) {
+  const Scenario s = make_ring(3, 3);
+  const WaitForGraph g = replay(s, 0);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cmh::graph

@@ -1,0 +1,332 @@
+#include "graph/wait_for_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace cmh::graph {
+namespace {
+
+const ProcessId p0{0};
+const ProcessId p1{1};
+const ProcessId p2{2};
+const ProcessId p3{3};
+const ProcessId p4{4};
+
+// ---- axiom G1: creation -----------------------------------------------------
+
+TEST(AxiomG1, CreateMakesGreyEdge) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  EXPECT_TRUE(g.has_edge(p0, p1));
+  EXPECT_EQ(g.color(p0, p1), EdgeColor::kGrey);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(AxiomG1, DuplicateCreateRejected) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  const auto st = g.create(p0, p1);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AxiomG1, SelfEdgeRejected) {
+  WaitForGraph g;
+  EXPECT_FALSE(g.create(p0, p0).ok());
+}
+
+TEST(AxiomG1, ReverseEdgeIsDistinct) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.create(p1, p0).ok());
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+// ---- axiom G2: blackening ---------------------------------------------------
+
+TEST(AxiomG2, GreyTurnsBlack) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.blacken(p0, p1).ok());
+  EXPECT_EQ(g.color(p0, p1), EdgeColor::kBlack);
+}
+
+TEST(AxiomG2, BlackenMissingEdgeRejected) {
+  WaitForGraph g;
+  EXPECT_FALSE(g.blacken(p0, p1).ok());
+}
+
+TEST(AxiomG2, BlackenTwiceRejected) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.blacken(p0, p1).ok());
+  EXPECT_FALSE(g.blacken(p0, p1).ok());
+}
+
+// ---- axiom G3: whitening ----------------------------------------------------
+
+TEST(AxiomG3, BlackTurnsWhiteWhenTargetActive) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.blacken(p0, p1).ok());
+  ASSERT_TRUE(g.whiten(p0, p1).ok());
+  EXPECT_EQ(g.color(p0, p1), EdgeColor::kWhite);
+}
+
+TEST(AxiomG3, BlockedTargetCannotReply) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.blacken(p0, p1).ok());
+  ASSERT_TRUE(g.create(p1, p2).ok());  // p1 now blocked
+  EXPECT_FALSE(g.whiten(p0, p1).ok());
+  // Once p1's own wait resolves, the reply becomes legal.
+  ASSERT_TRUE(g.blacken(p1, p2).ok());
+  ASSERT_TRUE(g.whiten(p1, p2).ok());
+  ASSERT_TRUE(g.remove(p1, p2).ok());
+  EXPECT_TRUE(g.whiten(p0, p1).ok());
+}
+
+TEST(AxiomG3, GreyEdgeCannotWhiten) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  EXPECT_FALSE(g.whiten(p0, p1).ok());
+}
+
+// ---- axiom G4: deletion -----------------------------------------------------
+
+TEST(AxiomG4, WhiteEdgeRemovable) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.blacken(p0, p1).ok());
+  ASSERT_TRUE(g.whiten(p0, p1).ok());
+  ASSERT_TRUE(g.remove(p0, p1).ok());
+  EXPECT_FALSE(g.has_edge(p0, p1));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(AxiomG4, DarkEdgeNotRemovable) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  EXPECT_FALSE(g.remove(p0, p1).ok());
+  ASSERT_TRUE(g.blacken(p0, p1).ok());
+  EXPECT_FALSE(g.remove(p0, p1).ok());
+}
+
+TEST(AxiomG4, EdgeCanBeRecreatedAfterRemoval) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.blacken(p0, p1).ok());
+  ASSERT_TRUE(g.whiten(p0, p1).ok());
+  ASSERT_TRUE(g.remove(p0, p1).ok());
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  EXPECT_EQ(g.color(p0, p1), EdgeColor::kGrey);
+}
+
+// ---- queries ----------------------------------------------------------------
+
+TEST(Queries, SuccessorsSorted) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p3).ok());
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.create(p0, p2).ok());
+  EXPECT_EQ(g.successors(p0), (std::vector<ProcessId>{p1, p2, p3}));
+  EXPECT_TRUE(g.successors(p1).empty());
+}
+
+TEST(Queries, PredecessorsWithColorFilter) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p2).ok());
+  ASSERT_TRUE(g.create(p1, p2).ok());
+  ASSERT_TRUE(g.blacken(p1, p2).ok());
+  EXPECT_EQ(g.predecessors(p2), (std::vector<ProcessId>{p0, p1}));
+  EXPECT_EQ(g.predecessors(p2, EdgeColor::kBlack),
+            (std::vector<ProcessId>{p1}));
+  EXPECT_EQ(g.predecessors(p2, EdgeColor::kGrey),
+            (std::vector<ProcessId>{p0}));
+}
+
+TEST(Queries, HasOutgoing) {
+  WaitForGraph g;
+  EXPECT_FALSE(g.has_outgoing(p0));
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  EXPECT_TRUE(g.has_outgoing(p0));
+  EXPECT_FALSE(g.has_outgoing(p1));
+}
+
+TEST(Queries, EdgesWithFilter) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.create(p1, p2).ok());
+  ASSERT_TRUE(g.blacken(p1, p2).ok());
+  EXPECT_EQ(g.edges().size(), 2u);
+  EXPECT_EQ(g.edges(EdgeColor::kGrey), (std::vector<Edge>{{p0, p1}}));
+  EXPECT_EQ(g.edges(EdgeColor::kBlack), (std::vector<Edge>{{p1, p2}}));
+  EXPECT_TRUE(g.edges(EdgeColor::kWhite).empty());
+}
+
+TEST(Queries, VerticesAreEdgeEndpoints) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p2, p4).ok());
+  EXPECT_EQ(g.vertices(), (std::vector<ProcessId>{p2, p4}));
+}
+
+// ---- dark-cycle oracle --------------------------------------------------------
+
+TEST(DarkCycle, TwoCycleDetected) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.create(p1, p0).ok());
+  EXPECT_TRUE(g.on_dark_cycle(p0));
+  EXPECT_TRUE(g.on_dark_cycle(p1));
+}
+
+TEST(DarkCycle, MixedGreyBlackCycleIsDark) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.blacken(p0, p1).ok());
+  ASSERT_TRUE(g.create(p1, p2).ok());
+  ASSERT_TRUE(g.create(p2, p0).ok());
+  ASSERT_TRUE(g.blacken(p2, p0).ok());
+  EXPECT_TRUE(g.on_dark_cycle(p0));
+  EXPECT_TRUE(g.on_dark_cycle(p1));
+  EXPECT_TRUE(g.on_dark_cycle(p2));
+}
+
+TEST(DarkCycle, AcyclicChainNotDeadlocked) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.create(p1, p2).ok());
+  ASSERT_TRUE(g.create(p2, p3).ok());
+  EXPECT_FALSE(g.on_dark_cycle(p0));
+  EXPECT_FALSE(g.on_dark_cycle(p3));
+  EXPECT_TRUE(g.deadlocked_vertices().empty());
+}
+
+TEST(DarkCycle, WhiteEdgeBreaksDarkness) {
+  // p0 -> p1 -> p0 but (p1, p0) is white: p0 already replied, the "cycle"
+  // will dissolve, so it is not a deadlock.
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p1, p0).ok());
+  ASSERT_TRUE(g.blacken(p1, p0).ok());
+  ASSERT_TRUE(g.whiten(p1, p0).ok());
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  EXPECT_FALSE(g.on_dark_cycle(p0));
+  EXPECT_FALSE(g.on_dark_cycle(p1));
+}
+
+TEST(DarkCycle, VertexOffCycleWaitingOnCycleNotOnCycle) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.create(p1, p0).ok());
+  ASSERT_TRUE(g.create(p2, p0).ok());  // p2 waits on the cycle
+  EXPECT_FALSE(g.on_dark_cycle(p2));
+  EXPECT_EQ(g.deadlocked_vertices(), (std::vector<ProcessId>{p0, p1}));
+}
+
+TEST(DarkCycle, CycleThroughReturnsMembersInOrder) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.create(p1, p2).ok());
+  ASSERT_TRUE(g.create(p2, p0).ok());
+  const auto cycle = g.dark_cycle_through(p0);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(*cycle, (std::vector<ProcessId>{p0, p1, p2}));
+}
+
+TEST(DarkCycle, ShortestOfMultipleCyclesFound) {
+  WaitForGraph g;
+  // Two cycles through p0: p0->p1->p0 and p0->p2->p3->p0.
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.create(p1, p0).ok());
+  ASSERT_TRUE(g.create(p0, p2).ok());
+  ASSERT_TRUE(g.create(p2, p3).ok());
+  ASSERT_TRUE(g.create(p3, p0).ok());
+  const auto cycle = g.dark_cycle_through(p0);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 2u);  // BFS finds the 2-cycle first
+}
+
+// ---- black-path oracle (section 5 ground truth) -----------------------------
+
+TEST(BlackPaths, SimpleChainToTarget) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.blacken(p0, p1).ok());
+  ASSERT_TRUE(g.create(p1, p2).ok());
+  ASSERT_TRUE(g.blacken(p1, p2).ok());
+  const auto edges = g.black_path_edges_to(p0, p2);
+  EXPECT_EQ(edges.size(), 2u);
+  EXPECT_TRUE(edges.contains(Edge{p0, p1}));
+  EXPECT_TRUE(edges.contains(Edge{p1, p2}));
+}
+
+TEST(BlackPaths, GreyEdgesExcluded) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());  // grey
+  ASSERT_TRUE(g.create(p1, p2).ok());
+  ASSERT_TRUE(g.blacken(p1, p2).ok());
+  EXPECT_TRUE(g.black_path_edges_to(p0, p2).empty());
+}
+
+TEST(BlackPaths, CycleEdgesIncludedWhenTargetOnCycle) {
+  WaitForGraph g;
+  for (const auto& [a, b] :
+       {std::pair{p0, p1}, std::pair{p1, p2}, std::pair{p2, p0}}) {
+    ASSERT_TRUE(g.create(a, b).ok());
+    ASSERT_TRUE(g.blacken(a, b).ok());
+  }
+  // Walks from p1 to p0 traverse the whole cycle, so every cycle edge is on
+  // a permanent black path leading from p1 -- including (p0, p1), which a
+  // walk reaches after passing p0.  This matches the section-5 WFGD
+  // fixpoint, where messages keep circulating until every member knows all
+  // cycle edges.
+  const auto edges = g.black_path_edges_to(p1, p0);
+  EXPECT_EQ(edges.size(), 3u);
+  EXPECT_TRUE(edges.contains(Edge{p1, p2}));
+  EXPECT_TRUE(edges.contains(Edge{p2, p0}));
+  EXPECT_TRUE(edges.contains(Edge{p0, p1}));
+}
+
+TEST(BlackPaths, BranchingPathsAllIncluded) {
+  WaitForGraph g;
+  // p0 -> p1 -> p3, p0 -> p2 -> p3, all black.
+  for (const auto& [a, b] : {std::pair{p0, p1}, std::pair{p1, p3},
+                             std::pair{p0, p2}, std::pair{p2, p3}}) {
+    ASSERT_TRUE(g.create(a, b).ok());
+    ASSERT_TRUE(g.blacken(a, b).ok());
+  }
+  EXPECT_EQ(g.black_path_edges_to(p0, p3).size(), 4u);
+}
+
+TEST(BlackPaths, DeadEndBranchesExcluded) {
+  WaitForGraph g;
+  for (const auto& [a, b] : {std::pair{p0, p1}, std::pair{p1, p2},
+                             std::pair{p1, p4}}) {  // p4 is a dead end
+    ASSERT_TRUE(g.create(a, b).ok());
+    ASSERT_TRUE(g.blacken(a, b).ok());
+  }
+  const auto edges = g.black_path_edges_to(p0, p2);
+  EXPECT_EQ(edges.size(), 2u);
+  EXPECT_FALSE(edges.contains(Edge{p1, p4}));
+}
+
+// ---- DOT export ----------------------------------------------------------------
+
+TEST(Dot, ContainsEdgesAndColors) {
+  WaitForGraph g;
+  ASSERT_TRUE(g.create(p0, p1).ok());
+  ASSERT_TRUE(g.create(p1, p2).ok());
+  ASSERT_TRUE(g.blacken(p1, p2).ok());
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"p0\" -> \"p1\""), std::string::npos);
+  EXPECT_NE(dot.find("grey"), std::string::npos);
+  EXPECT_NE(dot.find("black"), std::string::npos);
+}
+
+TEST(EdgeColor, DarknessPredicate) {
+  EXPECT_TRUE(is_dark(EdgeColor::kGrey));
+  EXPECT_TRUE(is_dark(EdgeColor::kBlack));
+  EXPECT_FALSE(is_dark(EdgeColor::kWhite));
+}
+
+}  // namespace
+}  // namespace cmh::graph

@@ -1,0 +1,188 @@
+#include "net/tcp_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace cmh::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+class Collector {
+ public:
+  Transport::Handler handler() {
+    return [this](NodeId from, const Bytes& payload) {
+      std::scoped_lock lock(mutex_);
+      items_.emplace_back(from, payload);
+      cv_.notify_all();
+    };
+  }
+
+  bool wait_for(std::size_t n, std::chrono::milliseconds max = 5000ms) {
+    std::unique_lock lock(mutex_);
+    return cv_.wait_for(lock, max, [&] { return items_.size() >= n; });
+  }
+
+  std::vector<std::pair<NodeId, Bytes>> items() {
+    std::scoped_lock lock(mutex_);
+    return items_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::pair<NodeId, Bytes>> items_;
+};
+
+TEST(TcpTransport, AssignsDistinctPorts) {
+  TcpTransport t;
+  t.add_node({});
+  t.add_node({});
+  t.start();
+  EXPECT_NE(t.port(0), 0);
+  EXPECT_NE(t.port(1), 0);
+  EXPECT_NE(t.port(0), t.port(1));
+  t.stop();
+}
+
+TEST(TcpTransport, DeliversMessageWithSenderIdentity) {
+  TcpTransport t;
+  Collector c;
+  const NodeId a = t.add_node({});
+  const NodeId b = t.add_node(c.handler());
+  t.start();
+  t.send(a, b, Bytes{7, 8, 9});
+  ASSERT_TRUE(c.wait_for(1));
+  EXPECT_EQ(c.items()[0].first, a);
+  EXPECT_EQ(c.items()[0].second, (Bytes{7, 8, 9}));
+  t.stop();
+}
+
+TEST(TcpTransport, EmptyPayloadDelivered) {
+  TcpTransport t;
+  Collector c;
+  const NodeId a = t.add_node({});
+  const NodeId b = t.add_node(c.handler());
+  t.start();
+  t.send(a, b, Bytes{});
+  ASSERT_TRUE(c.wait_for(1));
+  EXPECT_TRUE(c.items()[0].second.empty());
+  t.stop();
+}
+
+TEST(TcpTransport, LargeFrameRoundTrip) {
+  TcpTransport t;
+  Collector c;
+  const NodeId a = t.add_node({});
+  const NodeId b = t.add_node(c.handler());
+  t.start();
+  Bytes big(1 << 20);  // 1 MiB
+  std::iota(big.begin(), big.end(), 0);
+  t.send(a, b, big);
+  ASSERT_TRUE(c.wait_for(1));
+  EXPECT_EQ(c.items()[0].second, big);
+  t.stop();
+}
+
+TEST(TcpTransport, PerChannelFifo) {
+  TcpTransport t;
+  Collector c;
+  const NodeId a = t.add_node({});
+  const NodeId b = t.add_node(c.handler());
+  t.start();
+  for (std::uint8_t i = 0; i < 100; ++i) t.send(a, b, Bytes{i});
+  ASSERT_TRUE(c.wait_for(100));
+  const auto items = c.items();
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(items[i].second.at(0), i);
+  }
+  t.stop();
+}
+
+TEST(TcpTransport, BidirectionalTraffic) {
+  TcpTransport t;
+  Collector ca;
+  Collector cb;
+  const NodeId a = t.add_node(ca.handler());
+  const NodeId b = t.add_node(cb.handler());
+  t.start();
+  for (int i = 0; i < 10; ++i) {
+    t.send(a, b, Bytes{1});
+    t.send(b, a, Bytes{2});
+  }
+  ASSERT_TRUE(ca.wait_for(10));
+  ASSERT_TRUE(cb.wait_for(10));
+  for (const auto& [from, payload] : ca.items()) EXPECT_EQ(from, b);
+  for (const auto& [from, payload] : cb.items()) EXPECT_EQ(from, a);
+  t.stop();
+}
+
+TEST(TcpTransport, ManyNodesAllPairs) {
+  constexpr std::uint32_t kNodes = 5;
+  TcpTransport t;
+  std::vector<std::unique_ptr<Collector>> collectors;
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    collectors.push_back(std::make_unique<Collector>());
+    t.add_node(collectors.back()->handler());
+  }
+  t.start();
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    for (std::uint32_t j = 0; j < kNodes; ++j) {
+      if (i != j) t.send(i, j, Bytes{static_cast<std::uint8_t>(i)});
+    }
+  }
+  for (std::uint32_t j = 0; j < kNodes; ++j) {
+    ASSERT_TRUE(collectors[j]->wait_for(kNodes - 1)) << "node " << j;
+  }
+  t.stop();
+}
+
+TEST(TcpTransport, ConcurrentSendersOnSameChannelDoNotCorruptFrames) {
+  TcpTransport t;
+  Collector c;
+  const NodeId a = t.add_node({});
+  const NodeId b = t.add_node(c.handler());
+  t.start();
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int k = 0; k < 4; ++k) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        t.send(a, b, Bytes(17, 0xab));  // fixed-size recognizable frames
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_TRUE(c.wait_for(4 * kPerThread));
+  for (const auto& [from, payload] : c.items()) {
+    EXPECT_EQ(payload.size(), 17u);
+    EXPECT_EQ(payload[0], 0xab);
+  }
+  t.stop();
+}
+
+TEST(TcpTransport, StopIdempotent) {
+  TcpTransport t;
+  t.add_node({});
+  t.start();
+  t.stop();
+  t.stop();
+  SUCCEED();
+}
+
+TEST(TcpTransport, AddNodeAfterStartRejected) {
+  TcpTransport t;
+  t.add_node({});
+  t.start();
+  EXPECT_THROW(t.add_node({}), std::logic_error);
+  t.stop();
+}
+
+}  // namespace
+}  // namespace cmh::net

@@ -1,0 +1,193 @@
+// SimCluster harness: oracle bookkeeping matches the model's instants, and
+// the hooks/callbacks fire correctly.
+#include "runtime/sim_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/workload.h"
+
+namespace cmh::runtime {
+namespace {
+
+core::Options manual_opts() {
+  core::Options o;
+  o.initiation = core::InitiationMode::kManual;
+  return o;
+}
+
+const ProcessId p0{0};
+const ProcessId p1{1};
+const ProcessId p2{2};
+
+TEST(SimClusterOracle, EdgeColorsFollowMessageLifecycle) {
+  SimCluster cluster(2, manual_opts(), 1);
+  cluster.request(p0, p1);
+  // Sent but not delivered: grey (G1).
+  EXPECT_EQ(cluster.oracle().color(p0, p1), graph::EdgeColor::kGrey);
+  cluster.run();
+  // Delivered: black (G2).
+  EXPECT_EQ(cluster.oracle().color(p0, p1), graph::EdgeColor::kBlack);
+  cluster.reply(p1, p0);
+  // Reply sent, not delivered: white (G3).
+  EXPECT_EQ(cluster.oracle().color(p0, p1), graph::EdgeColor::kWhite);
+  cluster.run();
+  // Delivered: gone (G4).
+  EXPECT_FALSE(cluster.oracle().has_edge(p0, p1));
+}
+
+TEST(SimClusterOracle, ProcessViewMatchesOracleAtQuiescence) {
+  SimCluster cluster(3, manual_opts(), 2);
+  cluster.request(p0, p1);
+  cluster.request(p0, p2);
+  cluster.request(p1, p2);
+  cluster.run();
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const ProcessId p{i};
+    const auto& proc = cluster.process(p);
+    // Local out edges == oracle successors.
+    const auto succ = cluster.oracle().successors(p);
+    EXPECT_EQ(std::set<ProcessId>(succ.begin(), succ.end()),
+              proc.waits_for());
+    // Local black in edges == oracle black predecessors.
+    const auto preds =
+        cluster.oracle().predecessors(p, graph::EdgeColor::kBlack);
+    EXPECT_EQ(std::set<ProcessId>(preds.begin(), preds.end()),
+              proc.held_requests());
+  }
+}
+
+TEST(SimClusterOracle, ReplyByBlockedProcessRejected) {
+  SimCluster cluster(3, manual_opts(), 3);
+  cluster.request(p0, p1);
+  cluster.run();
+  cluster.request(p1, p2);  // p1 now blocked
+  EXPECT_THROW(cluster.reply(p1, p0), std::logic_error);
+}
+
+TEST(SimClusterHooks, DeliveryHooksSeeEveryMessage) {
+  SimCluster cluster(2, manual_opts(), 4);
+  int requests = 0;
+  int replies = 0;
+  cluster.add_delivery_hook(
+      [&](ProcessId, ProcessId, const core::Message& m) {
+        if (std::holds_alternative<core::RequestMsg>(m)) ++requests;
+        if (std::holds_alternative<core::ReplyMsg>(m)) ++replies;
+      });
+  cluster.request(p0, p1);
+  cluster.run();
+  cluster.reply(p1, p0);
+  cluster.run();
+  EXPECT_EQ(requests, 1);
+  EXPECT_EQ(replies, 1);
+}
+
+TEST(SimClusterHooks, MultipleHooksAllFire) {
+  SimCluster cluster(2, manual_opts(), 5);
+  int a = 0;
+  int b = 0;
+  cluster.add_delivery_hook(
+      [&](ProcessId, ProcessId, const core::Message&) { ++a; });
+  cluster.add_delivery_hook(
+      [&](ProcessId, ProcessId, const core::Message&) { ++b; });
+  cluster.request(p0, p1);
+  cluster.run();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(SimClusterDetection, CallbackSeesOracleAtDeclarationInstant) {
+  SimCluster cluster(2, core::Options{}, 6);
+  bool checked = false;
+  cluster.set_detection_callback([&](const DeadlockEvent& e) {
+    checked = true;
+    EXPECT_TRUE(cluster.oracle().on_dark_cycle(e.process));
+    EXPECT_EQ(e.at, cluster.simulator().now());
+  });
+  cluster.request(p0, p1);
+  cluster.request(p1, p0);
+  cluster.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(SimClusterDetection, RunUntilDetectionStopsEarly) {
+  SimCluster cluster(2, core::Options{}, 7);
+  cluster.request(p0, p1);
+  cluster.request(p1, p0);
+  ASSERT_TRUE(cluster.run_until_detection());
+  EXPECT_EQ(cluster.detections().size(), 1u);
+  // More events may remain (e.g. WFGD); run drains them.
+  cluster.run();
+  EXPECT_TRUE(cluster.simulator().idle());
+}
+
+TEST(SimClusterStats, TotalsAggregateAcrossProcesses) {
+  SimCluster cluster(3, core::Options{}, 8);
+  cluster.request(p0, p1);
+  cluster.request(p1, p2);
+  cluster.request(p2, p0);
+  cluster.run();
+  const auto total = cluster.total_stats();
+  EXPECT_EQ(total.requests_sent, 3u);
+  EXPECT_GT(total.probes_sent, 0u);
+  // Every ring member initiated on-request; concurrent computations may
+  // each succeed (the paper allows several initiators, section 3.2).
+  EXPECT_GE(total.deadlocks_declared, 1u);
+  EXPECT_LE(total.deadlocks_declared, 3u);
+}
+
+// ---- workload driver -----------------------------------------------------------------
+
+TEST(RandomWorkloadTest, OrderedRequestsNeverDeadlock) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    SimCluster cluster(12, manual_opts(), seed);
+    WorkloadConfig wl;
+    wl.ordered_requests = true;
+    wl.issue_until = SimTime::ms(30);
+    RandomWorkload workload(cluster, wl, seed);
+    workload.start();
+    cluster.run();
+    EXPECT_FALSE(workload.first_deadlock_at().has_value()) << seed;
+    EXPECT_TRUE(cluster.oracle().deadlocked_vertices().empty()) << seed;
+    // Everything unwinds: no process left blocked.
+    for (std::uint32_t i = 0; i < 12; ++i) {
+      EXPECT_FALSE(cluster.process(ProcessId{i}).blocked()) << i;
+    }
+  }
+}
+
+TEST(RandomWorkloadTest, FirstDeadlockTimestampIsExact) {
+  SimCluster cluster(8, manual_opts(), 42);
+  WorkloadConfig wl;
+  wl.mean_interarrival = SimTime::us(100);
+  wl.issue_until = SimTime::ms(50);
+  RandomWorkload workload(cluster, wl, 43);
+  workload.start();
+  cluster.run();
+  if (workload.first_deadlock_at()) {
+    // If the workload says a cycle formed, it must still exist (permanence).
+    EXPECT_FALSE(cluster.oracle().deadlocked_vertices().empty());
+  } else {
+    EXPECT_TRUE(cluster.oracle().deadlocked_vertices().empty());
+  }
+}
+
+TEST(RandomWorkloadTest, RequestsIssuedCounted) {
+  SimCluster cluster(8, manual_opts(), 9);
+  WorkloadConfig wl;
+  wl.issue_until = SimTime::ms(10);
+  RandomWorkload workload(cluster, wl, 10);
+  workload.start();
+  cluster.run();
+  EXPECT_EQ(workload.requests_issued(), cluster.total_stats().requests_sent);
+}
+
+TEST(IssueScenario, RejectsScriptsWithReplies) {
+  SimCluster cluster(4, manual_opts(), 11);
+  graph::Scenario s = graph::make_ring(4, 4);
+  s.script.push_back(
+      {graph::OpKind::kWhiten, graph::Edge{ProcessId{0}, ProcessId{1}}});
+  EXPECT_THROW(issue_scenario(cluster, s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cmh::runtime
