@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a1_forward_once"
+  "../bench/bench_a1_forward_once.pdb"
+  "CMakeFiles/bench_a1_forward_once.dir/bench_a1_forward_once.cpp.o"
+  "CMakeFiles/bench_a1_forward_once.dir/bench_a1_forward_once.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_forward_once.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a2_stale_tags"
+  "../bench/bench_a2_stale_tags.pdb"
+  "CMakeFiles/bench_a2_stale_tags.dir/bench_a2_stale_tags.cpp.o"
+  "CMakeFiles/bench_a2_stale_tags.dir/bench_a2_stale_tags.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_stale_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

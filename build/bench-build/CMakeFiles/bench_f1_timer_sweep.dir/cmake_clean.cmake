@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f1_timer_sweep"
+  "../bench/bench_f1_timer_sweep.pdb"
+  "CMakeFiles/bench_f1_timer_sweep.dir/bench_f1_timer_sweep.cpp.o"
+  "CMakeFiles/bench_f1_timer_sweep.dir/bench_f1_timer_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_timer_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

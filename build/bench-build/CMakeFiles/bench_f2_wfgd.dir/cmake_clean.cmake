@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f2_wfgd"
+  "../bench/bench_f2_wfgd.pdb"
+  "CMakeFiles/bench_f2_wfgd.dir/bench_f2_wfgd.cpp.o"
+  "CMakeFiles/bench_f2_wfgd.dir/bench_f2_wfgd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_wfgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

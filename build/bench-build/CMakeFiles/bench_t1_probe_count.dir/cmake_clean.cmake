@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t1_probe_count"
+  "../bench/bench_t1_probe_count.pdb"
+  "CMakeFiles/bench_t1_probe_count.dir/bench_t1_probe_count.cpp.o"
+  "CMakeFiles/bench_t1_probe_count.dir/bench_t1_probe_count.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_probe_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

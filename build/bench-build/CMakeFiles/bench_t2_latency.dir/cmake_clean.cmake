@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t2_latency"
+  "../bench/bench_t2_latency.pdb"
+  "CMakeFiles/bench_t2_latency.dir/bench_t2_latency.cpp.o"
+  "CMakeFiles/bench_t2_latency.dir/bench_t2_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

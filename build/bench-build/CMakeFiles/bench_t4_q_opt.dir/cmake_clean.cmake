@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t4_q_opt"
+  "../bench/bench_t4_q_opt.pdb"
+  "CMakeFiles/bench_t4_q_opt.dir/bench_t4_q_opt.cpp.o"
+  "CMakeFiles/bench_t4_q_opt.dir/bench_t4_q_opt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_q_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t5_ddb_throughput"
+  "../bench/bench_t5_ddb_throughput.pdb"
+  "CMakeFiles/bench_t5_ddb_throughput.dir/bench_t5_ddb_throughput.cpp.o"
+  "CMakeFiles/bench_t5_ddb_throughput.dir/bench_t5_ddb_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_ddb_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_t6_transports.cpp" "bench-build/CMakeFiles/bench_t6_transports.dir/bench_t6_transports.cpp.o" "gcc" "bench-build/CMakeFiles/bench_t6_transports.dir/bench_t6_transports.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cmh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cmh_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cmh_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cmh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddb/CMakeFiles/cmh_ddb.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cmh_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cmh_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t6_transports"
+  "../bench/bench_t6_transports.pdb"
+  "CMakeFiles/bench_t6_transports.dir/bench_t6_transports.cpp.o"
+  "CMakeFiles/bench_t6_transports.dir/bench_t6_transports.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_transports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_ddb.dir/bank_ddb.cpp.o"
+  "CMakeFiles/bank_ddb.dir/bank_ddb.cpp.o.d"
+  "bank_ddb"
+  "bank_ddb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_ddb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

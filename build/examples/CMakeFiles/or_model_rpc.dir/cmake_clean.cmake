@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/or_model_rpc.dir/or_model_rpc.cpp.o"
+  "CMakeFiles/or_model_rpc.dir/or_model_rpc.cpp.o.d"
+  "or_model_rpc"
+  "or_model_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/or_model_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

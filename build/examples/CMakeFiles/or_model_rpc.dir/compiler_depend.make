@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for or_model_rpc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmh_baseline.dir/centralized.cpp.o"
+  "CMakeFiles/cmh_baseline.dir/centralized.cpp.o.d"
+  "CMakeFiles/cmh_baseline.dir/path_pushing.cpp.o"
+  "CMakeFiles/cmh_baseline.dir/path_pushing.cpp.o.d"
+  "CMakeFiles/cmh_baseline.dir/timeout.cpp.o"
+  "CMakeFiles/cmh_baseline.dir/timeout.cpp.o.d"
+  "libcmh_baseline.a"
+  "libcmh_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmh_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

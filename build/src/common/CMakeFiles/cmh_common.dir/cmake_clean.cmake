@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmh_common.dir/logging.cpp.o"
+  "CMakeFiles/cmh_common.dir/logging.cpp.o.d"
+  "libcmh_common.a"
+  "libcmh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/basic_process.cpp" "src/core/CMakeFiles/cmh_core.dir/basic_process.cpp.o" "gcc" "src/core/CMakeFiles/cmh_core.dir/basic_process.cpp.o.d"
+  "/root/repo/src/core/messages.cpp" "src/core/CMakeFiles/cmh_core.dir/messages.cpp.o" "gcc" "src/core/CMakeFiles/cmh_core.dir/messages.cpp.o.d"
+  "/root/repo/src/core/or_model.cpp" "src/core/CMakeFiles/cmh_core.dir/or_model.cpp.o" "gcc" "src/core/CMakeFiles/cmh_core.dir/or_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cmh_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

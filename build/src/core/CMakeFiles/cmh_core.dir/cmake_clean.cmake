@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmh_core.dir/basic_process.cpp.o"
+  "CMakeFiles/cmh_core.dir/basic_process.cpp.o.d"
+  "CMakeFiles/cmh_core.dir/messages.cpp.o"
+  "CMakeFiles/cmh_core.dir/messages.cpp.o.d"
+  "CMakeFiles/cmh_core.dir/or_model.cpp.o"
+  "CMakeFiles/cmh_core.dir/or_model.cpp.o.d"
+  "libcmh_core.a"
+  "libcmh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ddb/cluster.cpp" "src/ddb/CMakeFiles/cmh_ddb.dir/cluster.cpp.o" "gcc" "src/ddb/CMakeFiles/cmh_ddb.dir/cluster.cpp.o.d"
+  "/root/repo/src/ddb/controller.cpp" "src/ddb/CMakeFiles/cmh_ddb.dir/controller.cpp.o" "gcc" "src/ddb/CMakeFiles/cmh_ddb.dir/controller.cpp.o.d"
+  "/root/repo/src/ddb/lock_manager.cpp" "src/ddb/CMakeFiles/cmh_ddb.dir/lock_manager.cpp.o" "gcc" "src/ddb/CMakeFiles/cmh_ddb.dir/lock_manager.cpp.o.d"
+  "/root/repo/src/ddb/messages.cpp" "src/ddb/CMakeFiles/cmh_ddb.dir/messages.cpp.o" "gcc" "src/ddb/CMakeFiles/cmh_ddb.dir/messages.cpp.o.d"
+  "/root/repo/src/ddb/workload.cpp" "src/ddb/CMakeFiles/cmh_ddb.dir/workload.cpp.o" "gcc" "src/ddb/CMakeFiles/cmh_ddb.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cmh_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmh_ddb.dir/cluster.cpp.o"
+  "CMakeFiles/cmh_ddb.dir/cluster.cpp.o.d"
+  "CMakeFiles/cmh_ddb.dir/controller.cpp.o"
+  "CMakeFiles/cmh_ddb.dir/controller.cpp.o.d"
+  "CMakeFiles/cmh_ddb.dir/lock_manager.cpp.o"
+  "CMakeFiles/cmh_ddb.dir/lock_manager.cpp.o.d"
+  "CMakeFiles/cmh_ddb.dir/messages.cpp.o"
+  "CMakeFiles/cmh_ddb.dir/messages.cpp.o.d"
+  "CMakeFiles/cmh_ddb.dir/workload.cpp.o"
+  "CMakeFiles/cmh_ddb.dir/workload.cpp.o.d"
+  "libcmh_ddb.a"
+  "libcmh_ddb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmh_ddb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

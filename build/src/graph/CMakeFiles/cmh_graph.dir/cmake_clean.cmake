@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmh_graph.dir/generators.cpp.o"
+  "CMakeFiles/cmh_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/cmh_graph.dir/wait_for_graph.cpp.o"
+  "CMakeFiles/cmh_graph.dir/wait_for_graph.cpp.o.d"
+  "libcmh_graph.a"
+  "libcmh_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmh_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

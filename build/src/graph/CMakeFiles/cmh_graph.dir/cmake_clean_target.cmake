@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmh_graph.a"
+)

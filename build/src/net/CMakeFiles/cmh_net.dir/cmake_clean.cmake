@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmh_net.dir/inmemory_transport.cpp.o"
+  "CMakeFiles/cmh_net.dir/inmemory_transport.cpp.o.d"
+  "CMakeFiles/cmh_net.dir/tcp_transport.cpp.o"
+  "CMakeFiles/cmh_net.dir/tcp_transport.cpp.o.d"
+  "libcmh_net.a"
+  "libcmh_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmh_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

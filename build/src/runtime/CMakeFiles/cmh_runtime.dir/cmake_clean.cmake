@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmh_runtime.dir/or_cluster.cpp.o"
+  "CMakeFiles/cmh_runtime.dir/or_cluster.cpp.o.d"
+  "CMakeFiles/cmh_runtime.dir/sim_cluster.cpp.o"
+  "CMakeFiles/cmh_runtime.dir/sim_cluster.cpp.o.d"
+  "CMakeFiles/cmh_runtime.dir/threaded_cluster.cpp.o"
+  "CMakeFiles/cmh_runtime.dir/threaded_cluster.cpp.o.d"
+  "CMakeFiles/cmh_runtime.dir/workload.cpp.o"
+  "CMakeFiles/cmh_runtime.dir/workload.cpp.o.d"
+  "libcmh_runtime.a"
+  "libcmh_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmh_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmh_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cmh_sim.dir/simulator.cpp.o.d"
+  "libcmh_sim.a"
+  "libcmh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

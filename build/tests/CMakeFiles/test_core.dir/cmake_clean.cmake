@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_basic_process.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_basic_process.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_messages.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_messages.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_or_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_or_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_probe_computation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_probe_computation.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_properties.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_properties.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_wfgd.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_wfgd.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

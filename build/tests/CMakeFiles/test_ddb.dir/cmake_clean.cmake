@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddb.dir/ddb/test_cluster.cpp.o"
+  "CMakeFiles/test_ddb.dir/ddb/test_cluster.cpp.o.d"
+  "CMakeFiles/test_ddb.dir/ddb/test_controller.cpp.o"
+  "CMakeFiles/test_ddb.dir/ddb/test_controller.cpp.o.d"
+  "CMakeFiles/test_ddb.dir/ddb/test_ddb_properties.cpp.o"
+  "CMakeFiles/test_ddb.dir/ddb/test_ddb_properties.cpp.o.d"
+  "CMakeFiles/test_ddb.dir/ddb/test_lock_manager.cpp.o"
+  "CMakeFiles/test_ddb.dir/ddb/test_lock_manager.cpp.o.d"
+  "CMakeFiles/test_ddb.dir/ddb/test_messages.cpp.o"
+  "CMakeFiles/test_ddb.dir/ddb/test_messages.cpp.o.d"
+  "CMakeFiles/test_ddb.dir/ddb/test_workload.cpp.o"
+  "CMakeFiles/test_ddb.dir/ddb/test_workload.cpp.o.d"
+  "test_ddb"
+  "test_ddb.pdb"
+  "test_ddb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/test_sim_cluster.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_sim_cluster.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_threaded_cluster.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_threaded_cluster.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_transport_equivalence.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_transport_equivalence.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
