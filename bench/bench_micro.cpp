@@ -51,7 +51,7 @@ void BM_ProbeHandling(benchmark::State& state) {
   std::uint64_t sink = 0;
   core::BasicProcess p(
       ProcessId{1},
-      [&sink](ProcessId, const Bytes& b) { sink += b.size(); }, options);
+      [&sink](ProcessId, BytesView b) { sink += b.size(); }, options);
   p.send_request(ProcessId{2});
   if (!p.on_message(ProcessId{0},
                     core::encode(core::Message{core::RequestMsg{}}))

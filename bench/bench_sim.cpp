@@ -1,0 +1,136 @@
+// Simulator-level macro benchmarks (google-benchmark): end-to-end event
+// throughput of the discrete-event core and full detection waves on the
+// cluster harness.  These are the trajectory numbers behind BENCH_sim.json;
+// bench_micro.cpp covers the per-operation costs.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.h"
+#include "runtime/sim_cluster.h"
+#include "runtime/workload.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace cmh;
+
+/// Rigs an n-node ring where every delivery forwards the payload to the
+/// next node until `hops` runs dry, then injects one frame per node.
+/// Measures raw event-loop throughput: queue ops, FIFO clamping, payload
+/// pooling, handler dispatch.
+void BM_SimMessageChurn(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  constexpr std::int64_t kHopsPerRound = 20000;
+  sim::Simulator sim(1, sim::DelayModel::fixed(SimTime::us(10)));
+  std::int64_t hops = 0;
+  for (std::uint32_t i = 0; i < n; ++i) sim.add_node({});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sim.set_handler(i, [&sim, &hops, i, n](sim::NodeId, const Bytes& p) {
+      if (hops-- > 0) sim.send(i, (i + 1) % n, p);
+    });
+  }
+  const Bytes frame{0x42, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49};
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    hops = kHopsPerRound;
+    for (std::uint32_t i = 0; i < n; ++i) sim.send(i, (i + 1) % n, frame);
+    sim.run();
+    events += kHopsPerRound + n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimMessageChurn)->Arg(2)->Arg(16)->Arg(128);
+
+/// Same churn drained through run_batch: the throughput interface the
+/// experiment drivers use.
+void BM_SimBatchedChurn(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  constexpr std::int64_t kHopsPerRound = 20000;
+  sim::Simulator sim(1, sim::DelayModel::fixed(SimTime::us(10)));
+  std::int64_t hops = 0;
+  for (std::uint32_t i = 0; i < n; ++i) sim.add_node({});
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sim.set_handler(i, [&sim, &hops, i, n](sim::NodeId, const Bytes& p) {
+      if (hops-- > 0) sim.send(i, (i + 1) % n, p);
+    });
+  }
+  const Bytes frame{0x42, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49};
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    hops = kHopsPerRound;
+    for (std::uint32_t i = 0; i < n; ++i) sim.send(i, (i + 1) % n, frame);
+    while (sim.run_batch(256) > 0) {
+    }
+    events += kHopsPerRound + n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimBatchedChurn)->Arg(16);
+
+/// Timer-heavy load: interleaves timers with message traffic, stressing
+/// the callback event kind and the shared priority queue.
+void BM_SimTimerStorm(benchmark::State& state) {
+  sim::Simulator sim(3, sim::DelayModel::fixed(SimTime::us(5)));
+  const sim::NodeId a = sim.add_node({});
+  const sim::NodeId b = sim.add_node([](sim::NodeId, const Bytes&) {});
+  (void)a;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(SimTime::us(i % 97), [] {});
+      if (i % 4 == 0) sim.send(a, b, Bytes{1});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(sim.stats().events_processed));
+}
+BENCHMARK(BM_SimTimerStorm);
+
+/// Full detection wave: wedge an n-ring (with tails), initiate, and run to
+/// quiescence.  Covers request/reply traffic, probe fan-out, the oracle's
+/// graph bookkeeping, and every codec -- the paper's T1/T2 experiments in
+/// benchmark form.
+void BM_DetectionWaveRing(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  core::Options options;
+  options.initiation = core::InitiationMode::kManual;
+  std::uint64_t probes = 0;
+  for (auto _ : state) {
+    runtime::SimCluster cluster(n, options, /*seed=*/17);
+    runtime::issue_scenario(cluster, graph::make_ring(n, n));
+    cluster.run();
+    benchmark::DoNotOptimize(cluster.process(ProcessId{0}).initiate());
+    cluster.run();
+    if (cluster.detections().empty()) {
+      state.SkipWithError("ring detection failed");
+      return;
+    }
+    probes += cluster.total_stats().probes_sent;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(probes));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DetectionWaveRing)->Range(8, 256)->Complexity();
+
+/// Random request/reply workload at steady state: the closest thing to the
+/// paper's "normal operation" overhead measurements.  ordered_requests
+/// keeps the traffic contended but deadlock-free so every round drains.
+void BM_WorkloadChurn(benchmark::State& state) {
+  core::Options options;
+  options.initiation = core::InitiationMode::kOnRequest;
+  runtime::WorkloadConfig cfg;
+  cfg.issue_until = SimTime::ms(20);
+  cfg.ordered_requests = true;
+  for (auto _ : state) {
+    runtime::SimCluster cluster(32, options, /*seed=*/23);
+    runtime::RandomWorkload workload(cluster, cfg, /*seed=*/23);
+    workload.start();
+    cluster.run();
+    benchmark::DoNotOptimize(cluster.total_stats().probes_sent);
+    benchmark::DoNotOptimize(workload.requests_issued());
+  }
+}
+BENCHMARK(BM_WorkloadChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Benchmark-trajectory harness.
+
+Runs the google-benchmark binaries (bench_micro, bench_sim) and reduces
+their JSON output to a small, stable schema so successive runs can be
+committed and diffed:
+
+    {
+      "schema": "cmh-bench/1",
+      "suite": "micro" | "sim",
+      "benchmarks": [
+        {"name": ..., "time_ns": ..., "cpu_ns": ...,
+         "iterations": ..., "items_per_second": ...},   # last key optional
+        ...
+      ]
+    }
+
+Only real benchmark entries survive the reduction -- aggregates such as
+BigO/RMS rows and machine context (hostname, date, CPU caches) are
+dropped, so the schema stays byte-stable apart from the numbers.
+
+Usage:
+    bench/run_benchmarks.py [--build-dir build] [--out-dir .]
+                            [--suite micro|sim|all] [--min-time SECS]
+                            [--compare OLD.json]
+
+--min-time is passed through to --benchmark_min_time (this tree's
+google-benchmark takes a plain double, not the newer "0.01x" form).
+--compare prints an old-vs-new table against a previously committed file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+SUITES = {
+    "micro": "bench_micro",
+    "sim": "bench_sim",
+}
+
+
+def run_suite(binary: pathlib.Path, min_time: float | None) -> list[dict]:
+    cmd = [str(binary), "--benchmark_format=json"]
+    if min_time is not None:
+        cmd.append(f"--benchmark_min_time={min_time}")
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    raw = json.loads(proc.stdout)
+    benchmarks = []
+    for entry in raw.get("benchmarks", []):
+        # Skip BigO/RMS/mean-style aggregate rows.
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        reduced = {
+            "name": entry["name"],
+            "time_ns": round(float(entry["real_time"]), 3),
+            "cpu_ns": round(float(entry["cpu_time"]), 3),
+            "iterations": int(entry["iterations"]),
+        }
+        if "items_per_second" in entry:
+            reduced["items_per_second"] = round(
+                float(entry["items_per_second"]), 1)
+        benchmarks.append(reduced)
+    return benchmarks
+
+
+def write_suite(out_dir: pathlib.Path, suite: str,
+                benchmarks: list[dict]) -> pathlib.Path:
+    doc = {"schema": "cmh-bench/1", "suite": suite, "benchmarks": benchmarks}
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{suite}.json"
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def load_times(path: pathlib.Path) -> dict[str, float]:
+    doc = json.loads(path.read_text())
+    entries = doc["benchmarks"] if isinstance(doc, dict) else doc
+    times = {}
+    for entry in entries:
+        # Accept both this schema and raw google-benchmark output.
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        times[entry["name"]] = float(
+            entry.get("time_ns", entry.get("real_time", 0.0)))
+    return times
+
+
+def print_comparison(old: dict[str, float], new: list[dict]) -> None:
+    print(f"{'benchmark':<40} {'old ns':>12} {'new ns':>12} {'speedup':>8}")
+    for entry in new:
+        name = entry["name"]
+        if name not in old:
+            print(f"{name:<40} {'-':>12} {entry['time_ns']:>12.2f} {'new':>8}")
+            continue
+        ratio = old[name] / entry["time_ns"] if entry["time_ns"] else 0.0
+        print(f"{name:<40} {old[name]:>12.2f} {entry['time_ns']:>12.2f} "
+              f"{ratio:>7.2f}x")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build", type=pathlib.Path)
+    parser.add_argument("--out-dir", default=".", type=pathlib.Path)
+    parser.add_argument("--suite", default="all",
+                        choices=[*SUITES.keys(), "all"])
+    parser.add_argument("--min-time", default=None, type=float)
+    parser.add_argument("--compare", default=None, type=pathlib.Path)
+    args = parser.parse_args()
+
+    suites = list(SUITES) if args.suite == "all" else [args.suite]
+    old = load_times(args.compare) if args.compare else None
+    for suite in suites:
+        binary = args.build_dir / "bench" / SUITES[suite]
+        if not binary.exists():
+            print(f"error: {binary} not built (run cmake --build first)",
+                  file=sys.stderr)
+            return 1
+        benchmarks = run_suite(binary, args.min_time)
+        path = write_suite(args.out_dir, suite, benchmarks)
+        print(f"wrote {path} ({len(benchmarks)} benchmarks)")
+        if old is not None:
+            print_comparison(old, benchmarks)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,10 +18,6 @@ BasicProcess::BasicProcess(ProcessId id, Sender sender, Options options,
   }
 }
 
-void BasicProcess::send(ProcessId to, const Message& msg) {
-  sender_(to, encode(msg));
-}
-
 // ---- underlying computation -------------------------------------------------
 
 void BasicProcess::send_request(ProcessId to) {
@@ -32,7 +28,7 @@ void BasicProcess::send_request(ProcessId to) {
   out_edges_.insert(to);
   const std::uint64_t epoch = ++out_edge_epoch_[to];
   ++stats_.requests_sent;
-  send(to, RequestMsg{});
+  sender_(to, encode_small(RequestMsg{}).view());
   CMH_LOG(kDebug, "basic") << id_ << " requests " << to;
 
   switch (options_.initiation) {
@@ -65,11 +61,11 @@ void BasicProcess::send_reply(ProcessId to) {
   }
   in_black_.erase(to);
   ++stats_.replies_sent;
-  send(to, ReplyMsg{});
+  sender_(to, encode_small(ReplyMsg{}).view());
   CMH_LOG(kDebug, "basic") << id_ << " replies to " << to;
 }
 
-Status BasicProcess::on_message(ProcessId from, const Bytes& payload) {
+Status BasicProcess::on_message(ProcessId from, BytesView payload) {
   auto decoded = decode(payload);
   if (!decoded.ok()) return decoded.status();
   std::visit(
@@ -115,10 +111,12 @@ std::optional<ProbeTag> BasicProcess::initiate() {
 
 void BasicProcess::send_probes_on_outgoing(const ProbeTag& tag) {
   // Steps A0/A2: one probe along every outgoing edge.  The set cannot change
-  // mid-step because callers are serialized per process.
+  // mid-step because callers are serialized per process.  One stack-encoded
+  // frame serves the whole fan-out; no heap allocation on this path.
+  const SmallFrame frame = encode_small(ProbeMsg{tag});
   for (const ProcessId to : out_edges_) {
     ++stats_.probes_sent;
-    send(to, ProbeMsg{tag});
+    sender_(to, frame.view());
   }
 }
 
@@ -165,17 +163,22 @@ void BasicProcess::declare_deadlock(const ProbeTag& tag) {
 
 // ---- WFGD computation (section 5) -------------------------------------------
 
+void BasicProcess::send_wfgd_set(ProcessId to, const WfgdEdgeSet& edges) {
+  ++stats_.wfgd_messages_sent;
+  encode_into(Message{WfgdMsg{{edges.begin(), edges.end()}}}, scratch_);
+  sender_(to, scratch_);
+}
+
 void BasicProcess::start_wfgd() {
   // The initiator is on a black cycle, hence never replies, hence every
   // incoming black edge (v_j, v_i) is permanently black.  Send {(v_j, v_i)}
   // to each such v_j.
   for (const ProcessId pred : in_black_) {
-    const std::set<graph::Edge> message{graph::Edge{pred, id_}};
+    const WfgdEdgeSet message{graph::Edge{pred, id_}};
     auto& sent = wfgd_sent_[pred];
     if (sent == message) continue;
     sent = message;
-    ++stats_.wfgd_messages_sent;
-    send(pred, WfgdMsg{{message.begin(), message.end()}});
+    send_wfgd_set(pred, message);
   }
 }
 
@@ -190,13 +193,12 @@ void BasicProcess::handle_wfgd(ProcessId /*from*/, const WfgdMsg& msg) {
 
 void BasicProcess::propagate_wfgd() {
   for (const ProcessId pred : in_black_) {
-    std::set<graph::Edge> message = wfgd_edges_;
+    WfgdEdgeSet message = wfgd_edges_;
     message.insert(graph::Edge{pred, id_});
     auto& sent = wfgd_sent_[pred];
     if (sent == message) continue;  // never send the same message twice
     sent = message;
-    ++stats_.wfgd_messages_sent;
-    send(pred, WfgdMsg{{message.begin(), message.end()}});
+    send_wfgd_set(pred, message);
   }
 }
 

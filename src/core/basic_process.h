@@ -11,14 +11,18 @@
 // Local knowledge is exactly what P3 allows:
 //   * the set of outgoing wait-for edges (it created them; colors unknown),
 //   * the set of incoming *black* edges (requests received, replies unsent).
+//
+// Hot-path layout: the edge sets are sorted flat sets (contiguous memory,
+// probe fan-out is a linear scan), probes/requests/replies are encoded on
+// the stack, and variable-size WFGD frames reuse one scratch buffer -- so
+// steady-state probe traffic performs zero heap allocations.
 #pragma once
 
 #include <functional>
-#include <set>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_set.h"
 #include "common/ids.h"
 #include "common/time.h"
 #include "core/messages.h"
@@ -27,8 +31,10 @@
 namespace cmh::core {
 
 /// Emits one message toward a peer process.  Harnesses map ProcessId to a
-/// transport node id (usually the identity).
-using Sender = std::function<void(ProcessId to, const Bytes& payload)>;
+/// transport node id (usually the identity).  The payload view is only
+/// valid for the duration of the call; transports that defer delivery must
+/// copy it.
+using Sender = std::function<void(ProcessId to, BytesView payload)>;
 
 /// Schedules a callback after a delay; used by the kDelayed initiation
 /// policy.  The simulator and threaded runtimes provide implementations.
@@ -61,6 +67,9 @@ class BasicProcess {
   /// Invoked when this process declares "I am on a black cycle" (step A1).
   using DeadlockCallback = std::function<void(const ProbeTag& tag)>;
 
+  using EdgeSet = FlatSet<ProcessId, 8>;
+  using WfgdEdgeSet = FlatSet<graph::Edge, 8>;
+
   BasicProcess(ProcessId id, Sender sender, Options options = {},
                TimerService* timers = nullptr);
 
@@ -86,7 +95,7 @@ class BasicProcess {
 
   /// Feeds one raw message from the transport.  Returns non-OK only for
   /// undecodable payloads.
-  Status on_message(ProcessId from, const Bytes& payload);
+  Status on_message(ProcessId from, BytesView payload);
 
   // ---- detection ----------------------------------------------------------
 
@@ -106,20 +115,14 @@ class BasicProcess {
 
   /// The S_j of section 5: edges on permanent black paths leading from this
   /// process, as learnt so far.
-  [[nodiscard]] const std::set<graph::Edge>& wfgd_edges() const {
-    return wfgd_edges_;
-  }
+  [[nodiscard]] const WfgdEdgeSet& wfgd_edges() const { return wfgd_edges_; }
 
   /// Locally-known outgoing wait-for edges (targets of unanswered requests
   /// we sent).
-  [[nodiscard]] const std::set<ProcessId>& waits_for() const {
-    return out_edges_;
-  }
+  [[nodiscard]] const EdgeSet& waits_for() const { return out_edges_; }
 
   /// Locally-known incoming black edges (peers whose request we hold).
-  [[nodiscard]] const std::set<ProcessId>& held_requests() const {
-    return in_black_;
-  }
+  [[nodiscard]] const EdgeSet& held_requests() const { return in_black_; }
 
   [[nodiscard]] bool blocked() const { return !out_edges_.empty(); }
 
@@ -141,7 +144,7 @@ class BasicProcess {
   void declare_deadlock(const ProbeTag& tag);
   void start_wfgd();
   void propagate_wfgd();
-  void send(ProcessId to, const Message& msg);
+  void send_wfgd_set(ProcessId to, const WfgdEdgeSet& edges);
 
   ProcessId id_;
   Sender sender_;
@@ -149,8 +152,8 @@ class BasicProcess {
   TimerService* timers_;
   DeadlockCallback on_deadlock_;
 
-  std::set<ProcessId> out_edges_;
-  std::set<ProcessId> in_black_;
+  EdgeSet out_edges_;
+  EdgeSet in_black_;
   // Bumped every time an outgoing edge to the key is (re)created; lets the
   // delayed-initiation timer detect "existed continuously for T" (§4.3).
   std::unordered_map<ProcessId, std::uint64_t> out_edge_epoch_;
@@ -162,11 +165,14 @@ class BasicProcess {
   bool declared_{false};
   bool deadlocked_{false};
 
-  std::set<graph::Edge> wfgd_edges_;
+  WfgdEdgeSet wfgd_edges_;
   // Last WFGD edge set sent per predecessor ("never send the same message
   // twice", §5.2).  Sets only grow, so remembering sizes would do, but we
   // keep the full set for clarity and assertion strength.
-  std::unordered_map<ProcessId, std::set<graph::Edge>> wfgd_sent_;
+  std::unordered_map<ProcessId, WfgdEdgeSet> wfgd_sent_;
+
+  // Reusable encode buffer for the variable-size WFGD frames.
+  Bytes scratch_;
 
   ProcessStats stats_;
 };

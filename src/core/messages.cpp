@@ -2,29 +2,22 @@
 
 namespace cmh::core {
 
-namespace {
-enum WireType : std::uint8_t {
-  kRequest = 1,
-  kReply = 2,
-  kProbe = 3,
-  kWfgd = 4,
-};
-}  // namespace
-
-Bytes encode(const Message& msg) {
-  Writer w;
+void encode_into(const Message& msg, Bytes& out) {
+  Writer w(out);
   std::visit(
       [&w](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, RequestMsg>) {
-          w.u8(kRequest);
+          w.u8(wire::kRequest);
         } else if constexpr (std::is_same_v<T, ReplyMsg>) {
-          w.u8(kReply);
+          w.u8(wire::kReply);
         } else if constexpr (std::is_same_v<T, ProbeMsg>) {
-          w.u8(kProbe);
+          w.reserve(kSmallFrameCapacity);
+          w.u8(wire::kProbe);
           w.probe_tag(m.tag);
         } else if constexpr (std::is_same_v<T, WfgdMsg>) {
-          w.u8(kWfgd);
+          w.reserve(5 + 8 * m.edges.size());
+          w.u8(wire::kWfgd);
           w.u32(static_cast<std::uint32_t>(m.edges.size()));
           for (const graph::Edge& e : m.edges) {
             w.id(e.from);
@@ -33,24 +26,34 @@ Bytes encode(const Message& msg) {
         }
       },
       msg);
-  return std::move(w).take();
 }
 
-Result<Message> decode(const Bytes& payload) {
+Bytes encode(const Message& msg) {
+  Bytes out;
+  encode_into(msg, out);
+  return out;
+}
+
+Result<Message> decode_slow(BytesView payload) {
   Reader r(payload);
   std::uint8_t type = 0;
   if (auto st = r.u8(type); !st.ok()) return st;
   switch (type) {
-    case kRequest:
+    case wire::kRequest:
       return Message{RequestMsg{}};
-    case kReply:
+    case wire::kReply:
       return Message{ReplyMsg{}};
-    case kProbe: {
+    case wire::kProbe: {
+      // Fixed-size frame: one bounds check, then unchecked field reads.
+      if (r.remaining() < kSmallFrameCapacity - 1) {
+        return Status{StatusCode::kInvalidArgument, "truncated message"};
+      }
       ProbeMsg m;
-      if (auto st = r.probe_tag(m.tag); !st.ok()) return st;
+      m.tag.initiator = r.id_unchecked<ProcessId>();
+      m.tag.sequence = r.u64_unchecked();
       return Message{m};
     }
-    case kWfgd: {
+    case wire::kWfgd: {
       WfgdMsg m;
       std::uint32_t n = 0;
       if (auto st = r.u32(n); !st.ok()) return st;
@@ -60,11 +63,11 @@ Result<Message> decode(const Bytes& payload) {
       m.edges.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) {
         graph::Edge e;
-        if (auto st = r.id(e.from); !st.ok()) return st;
-        if (auto st = r.id(e.to); !st.ok()) return st;
+        e.from = r.id_unchecked<ProcessId>();
+        e.to = r.id_unchecked<ProcessId>();
         m.edges.push_back(e);
       }
-      return Message{m};
+      return Message{std::move(m)};
     }
     default:
       return Status{StatusCode::kInvalidArgument, "unknown message type"};

@@ -5,6 +5,15 @@
 // messages belong to the *detection* computation (sections 3 and 5).  All
 // four travel over the same FIFO channels, which is exactly what makes the
 // process axioms P1/P2 hold.
+//
+// Encoding surfaces, fastest first:
+//   * encode_small() -- stack-encoded frames for the fixed-size types
+//                       (Request/Reply/Probe, <= kSmallFrameCapacity bytes);
+//                       the steady-state probe path heap-allocates nothing.
+//   * encode_into()  -- serializes any Message into a caller-owned scratch
+//                       buffer (capacity reused across calls).
+//   * encode()       -- convenience wrapper returning a fresh Bytes.
+// All three produce byte-identical frames for the same message.
 #pragma once
 
 #include <optional>
@@ -42,7 +51,72 @@ struct WfgdMsg {
 
 using Message = std::variant<RequestMsg, ReplyMsg, ProbeMsg, WfgdMsg>;
 
+/// Largest wire size of the fixed-size message types: a probe frame is
+/// 1 (type) + 4 (initiator) + 8 (sequence) bytes.
+inline constexpr std::size_t kSmallFrameCapacity = 13;
+
+/// A stack-encoded frame; view() is valid for the frame's lifetime.
+using SmallFrame = StackWriter<kSmallFrameCapacity>;
+
+namespace wire {
+// Wire type tags, shared by the generic and fast-path codecs.
+inline constexpr std::uint8_t kRequest = 1;
+inline constexpr std::uint8_t kReply = 2;
+inline constexpr std::uint8_t kProbe = 3;
+inline constexpr std::uint8_t kWfgd = 4;
+}  // namespace wire
+
+[[nodiscard]] inline SmallFrame encode_small(const RequestMsg&) {
+  SmallFrame f;
+  f.u8(wire::kRequest);
+  return f;
+}
+
+[[nodiscard]] inline SmallFrame encode_small(const ReplyMsg&) {
+  SmallFrame f;
+  f.u8(wire::kReply);
+  return f;
+}
+
+[[nodiscard]] inline SmallFrame encode_small(const ProbeMsg& m) {
+  SmallFrame f;
+  f.u8(wire::kProbe);
+  f.probe_tag(m.tag);
+  return f;
+}
+
+/// Serializes `msg` into `out` (cleared first; capacity retained).
+void encode_into(const Message& msg, Bytes& out);
+
 [[nodiscard]] Bytes encode(const Message& msg);
-[[nodiscard]] Result<Message> decode(const Bytes& payload);
+
+/// Out-of-line decoder: variable-size frames (WFGD) and every error case.
+[[nodiscard]] Result<Message> decode_slow(BytesView payload);
+
+/// Decodes a frame.  The fixed-size types that dominate detection traffic
+/// (request/reply/probe) are handled inline with a single size check;
+/// everything else falls through to decode_slow().
+[[nodiscard]] inline Result<Message> decode(BytesView payload) {
+  if (!payload.empty()) {
+    switch (payload[0]) {
+      case wire::kRequest:
+        return Message{RequestMsg{}};
+      case wire::kReply:
+        return Message{ReplyMsg{}};
+      case wire::kProbe:
+        if (payload.size() >= kSmallFrameCapacity) {
+          Reader r(payload.subspan(1));
+          ProbeMsg m;
+          m.tag.initiator = r.id_unchecked<ProcessId>();
+          m.tag.sequence = r.u64_unchecked();
+          return Message{m};
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return decode_slow(payload);
+}
 
 }  // namespace cmh::core

@@ -10,26 +10,31 @@ namespace {
 enum WireType : std::uint8_t { kSignal = 1, kQuery = 2, kReply = 3 };
 }  // namespace
 
-Bytes or_encode(const OrMessage& msg) {
-  Writer w;
+OrFrame or_encode_small(const OrMessage& msg) {
+  OrFrame f;
   std::visit(
-      [&w](const auto& m) {
+      [&f](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, OrSignalMsg>) {
-          w.u8(kSignal);
+          f.u8(kSignal);
         } else if constexpr (std::is_same_v<T, OrQueryMsg>) {
-          w.u8(kQuery);
-          w.probe_tag(m.tag);
+          f.u8(kQuery);
+          f.probe_tag(m.tag);
         } else if constexpr (std::is_same_v<T, OrReplyMsg>) {
-          w.u8(kReply);
-          w.probe_tag(m.tag);
+          f.u8(kReply);
+          f.probe_tag(m.tag);
         }
       },
       msg);
-  return std::move(w).take();
+  return f;
 }
 
-Result<OrMessage> or_decode(const Bytes& payload) {
+Bytes or_encode(const OrMessage& msg) {
+  const OrFrame f = or_encode_small(msg);
+  return {f.data(), f.data() + f.size()};
+}
+
+Result<OrMessage> or_decode(BytesView payload) {
   Reader r(payload);
   std::uint8_t type = 0;
   if (auto st = r.u8(type); !st.ok()) return st;
@@ -76,7 +81,7 @@ void OrProcess::signal(ProcessId to) {
     throw std::logic_error("OrProcess::signal: blocked processes cannot act");
   }
   ++stats_.signals_sent;
-  sender_(to, or_encode(OrMessage{OrSignalMsg{}}));
+  sender_(to, or_encode_small(OrMessage{OrSignalMsg{}}).view());
 }
 
 std::optional<ProbeTag> OrProcess::initiate() {
@@ -95,13 +100,15 @@ std::optional<ProbeTag> OrProcess::initiate() {
 
 void OrProcess::send_wave(const ProbeTag& tag, Engagement& e) {
   e.awaiting = dependent_set_->size();
+  // One stack-encoded frame serves the whole wave.
+  const OrFrame frame = or_encode_small(OrMessage{OrQueryMsg{tag}});
   for (const ProcessId to : *dependent_set_) {
     ++stats_.queries_sent;
-    sender_(to, or_encode(OrMessage{OrQueryMsg{tag}}));
+    sender_(to, frame.view());
   }
 }
 
-Status OrProcess::on_message(ProcessId from, const Bytes& payload) {
+Status OrProcess::on_message(ProcessId from, BytesView payload) {
   auto decoded = or_decode(payload);
   if (!decoded.ok()) return decoded.status();
   std::visit(
@@ -142,7 +149,7 @@ void OrProcess::handle_query(ProcessId from, const OrQueryMsg& msg) {
       }
       // Later query of an engagement we already serve: reply immediately.
       ++stats_.replies_sent;
-      sender_(from, or_encode(OrMessage{OrReplyMsg{msg.tag}}));
+      sender_(from, or_encode_small(OrMessage{OrReplyMsg{msg.tag}}).view());
       return;
     }
   }
@@ -181,7 +188,7 @@ void OrProcess::complete_wave(const ProbeTag& tag, Engagement& e) {
     return;
   }
   ++stats_.replies_sent;
-  sender_(e.engager, or_encode(OrMessage{OrReplyMsg{tag}}));
+  sender_(e.engager, or_encode_small(OrMessage{OrReplyMsg{tag}}).view());
 }
 
 }  // namespace cmh::core

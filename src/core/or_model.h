@@ -52,8 +52,13 @@ struct OrReplyMsg {
 
 using OrMessage = std::variant<OrSignalMsg, OrQueryMsg, OrReplyMsg>;
 
+/// Largest OR-model frame: 1 (type) + 4 (initiator) + 8 (sequence) bytes.
+inline constexpr std::size_t kOrFrameCapacity = 13;
+using OrFrame = StackWriter<kOrFrameCapacity>;
+
+[[nodiscard]] OrFrame or_encode_small(const OrMessage& msg);
 [[nodiscard]] Bytes or_encode(const OrMessage& msg);
-[[nodiscard]] Result<OrMessage> or_decode(const Bytes& payload);
+[[nodiscard]] Result<OrMessage> or_decode(BytesView payload);
 
 struct OrStats {
   std::uint64_t queries_sent{0};
@@ -67,7 +72,7 @@ struct OrStats {
 
 class OrProcess {
  public:
-  using Sender = std::function<void(ProcessId to, const Bytes& payload)>;
+  using Sender = std::function<void(ProcessId to, BytesView payload)>;
   using DeadlockCallback = std::function<void(const ProbeTag& tag)>;
 
   OrProcess(ProcessId id, Sender sender, bool initiate_on_block = true);
@@ -99,7 +104,7 @@ class OrProcess {
   /// Manually starts a detection computation (requires blocked()).
   std::optional<ProbeTag> initiate();
 
-  Status on_message(ProcessId from, const Bytes& payload);
+  Status on_message(ProcessId from, BytesView payload);
 
  private:
   struct Engagement {

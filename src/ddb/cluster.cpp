@@ -13,7 +13,7 @@ Cluster::Cluster(ClusterConfig config)
     const SiteId site{i};
     auto controller = std::make_unique<Controller>(
         site, config_.n_sites,
-        [this, site](SiteId to, const Bytes& payload) {
+        [this, site](SiteId to, BytesView payload) {
           sim_.send(site.value(), to.value(), payload);
         },
         [this](ResourceId r) { return owner_of(r); }, config_.options,

@@ -93,7 +93,7 @@ void Controller::abort(TransactionId txn) {
 
 // ---- transport --------------------------------------------------------------
 
-Status Controller::on_message(SiteId from, const Bytes& payload) {
+Status Controller::on_message(SiteId from, BytesView payload) {
   auto decoded = decode(payload);
   if (!decoded.ok()) return decoded.status();
   std::visit(
@@ -349,7 +349,7 @@ void Controller::send_probes(
       if (!comp.probes_sent.insert(edge).second) continue;
       ++stats_.probes_sent;
       CMH_LOG(kDebug, "ddb") << id_ << " probe " << tag << " acq " << edge;
-      send_(site, encode(DdbProbeMsg{tag, floor, edge, false}));
+      send_(site, encode_small(DdbProbeMsg{tag, floor, edge, false}).view());
     }
     // Release-wait edges: (txn, here) holds resources acquired on behalf of
     // (txn, origin) and follows that agent's computation.  Without these
@@ -362,7 +362,7 @@ void Controller::send_probes(
       if (!comp.probes_sent.insert(edge).second) continue;
       ++stats_.probes_sent;
       CMH_LOG(kDebug, "ddb") << id_ << " probe " << tag << " rel " << edge;
-      send_(origin, encode(DdbProbeMsg{tag, floor, edge, true}));
+      send_(origin, encode_small(DdbProbeMsg{tag, floor, edge, true}).view());
     }
   }
 }

@@ -73,7 +73,8 @@ struct ControllerStats {
 
 class Controller {
  public:
-  using Sender = std::function<void(SiteId to, const Bytes& payload)>;
+  /// The payload view is only valid for the duration of the call.
+  using Sender = std::function<void(SiteId to, BytesView payload)>;
   using TimerFn = std::function<void(SimTime delay, std::function<void()>)>;
 
   /// Maps a resource to its managing site (static data placement).
@@ -119,7 +120,7 @@ class Controller {
 
   // ---- transport ----------------------------------------------------------
 
-  Status on_message(SiteId from, const Bytes& payload);
+  Status on_message(SiteId from, BytesView payload);
 
   // ---- detection ----------------------------------------------------------
 

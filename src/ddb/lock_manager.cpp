@@ -1,7 +1,8 @@
 #include "ddb/lock_manager.h"
 
 #include <algorithm>
-#include <set>
+
+#include "common/flat_set.h"
 
 namespace cmh::ddb {
 
@@ -158,7 +159,9 @@ std::vector<std::pair<TransactionId, TransactionId>> LockManager::wait_edges()
 }
 
 std::vector<SiteId> LockManager::holding_origins(TransactionId txn) const {
-  std::set<SiteId> origins;
+  // Sorted flat set: the origin count is tiny (bounded by the site count a
+  // transaction touched), so contiguous storage beats a node-based set.
+  FlatSet<SiteId, 8> origins;
   for (const auto& [resource, rs] : resources_) {
     const auto it = rs.holders.find(txn);
     if (it != rs.holders.end()) origins.insert(it->second.origin);
@@ -194,7 +197,7 @@ std::size_t LockManager::queue_depth(ResourceId resource) const {
 std::vector<TransactionId> LockManager::blockers(ResourceId resource,
                                                  TransactionId txn,
                                                  LockMode mode) const {
-  std::set<TransactionId> result;
+  FlatSet<TransactionId, 8> result;
   const auto it = resources_.find(resource);
   if (it == resources_.end()) return {};
   for (const auto& [holder, holding] : it->second.holders) {

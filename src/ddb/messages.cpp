@@ -9,10 +9,28 @@ enum WireType : std::uint8_t {
   kPurge = 3,
   kProbe = 4,
 };
+
+template <typename W>
+void put_probe(W& w, const DdbProbeMsg& m) {
+  w.u8(kProbe);
+  w.id(m.tag.initiator);
+  w.u64(m.tag.sequence);
+  w.u64(m.floor);
+  w.agent(m.edge.from);
+  w.agent(m.edge.to);
+  w.u8(m.via_release_wait ? 1 : 0);
+}
 }  // namespace
 
-Bytes encode(const DdbMessage& msg) {
-  Writer w;
+DdbFrame encode_small(const DdbProbeMsg& m) {
+  DdbFrame f;
+  put_probe(f, m);
+  return f;
+}
+
+void encode_into(const DdbMessage& msg, Bytes& out) {
+  Writer w(out);
+  w.reserve(kDdbFrameCapacity);
   std::visit(
       [&w](const auto& m) {
         using T = std::decay_t<decltype(m)>;
@@ -30,20 +48,19 @@ Bytes encode(const DdbMessage& msg) {
           w.id(m.txn);
           w.u8(m.aborted ? 1 : 0);
         } else if constexpr (std::is_same_v<T, DdbProbeMsg>) {
-          w.u8(kProbe);
-          w.id(m.tag.initiator);
-          w.u64(m.tag.sequence);
-          w.u64(m.floor);
-          w.agent(m.edge.from);
-          w.agent(m.edge.to);
-          w.u8(m.via_release_wait ? 1 : 0);
+          put_probe(w, m);
         }
       },
       msg);
-  return std::move(w).take();
 }
 
-Result<DdbMessage> decode(const Bytes& payload) {
+Bytes encode(const DdbMessage& msg) {
+  Bytes out;
+  encode_into(msg, out);
+  return out;
+}
+
+Result<DdbMessage> decode(BytesView payload) {
   Reader r(payload);
   std::uint8_t type = 0;
   if (auto st = r.u8(type); !st.ok()) return st;
@@ -75,15 +92,19 @@ Result<DdbMessage> decode(const Bytes& payload) {
       return DdbMessage{m};
     }
     case kProbe: {
+      // Fixed-size frame: one bounds check, then unchecked field reads.
+      if (r.remaining() < kDdbFrameCapacity - 1) {
+        return Status{StatusCode::kInvalidArgument, "truncated message"};
+      }
       DdbProbeMsg m;
-      std::uint8_t kind = 0;
-      if (auto st = r.id(m.tag.initiator); !st.ok()) return st;
-      if (auto st = r.u64(m.tag.sequence); !st.ok()) return st;
-      if (auto st = r.u64(m.floor); !st.ok()) return st;
-      if (auto st = r.agent(m.edge.from); !st.ok()) return st;
-      if (auto st = r.agent(m.edge.to); !st.ok()) return st;
-      if (auto st = r.u8(kind); !st.ok()) return st;
-      m.via_release_wait = kind != 0;
+      m.tag.initiator = r.id_unchecked<SiteId>();
+      m.tag.sequence = r.u64_unchecked();
+      m.floor = r.u64_unchecked();
+      m.edge.from.transaction = r.id_unchecked<TransactionId>();
+      m.edge.from.site = r.id_unchecked<SiteId>();
+      m.edge.to.transaction = r.id_unchecked<TransactionId>();
+      m.edge.to.site = r.id_unchecked<SiteId>();
+      m.via_release_wait = r.u8_unchecked() != 0;
       return DdbMessage{m};
     }
     default:

@@ -61,7 +61,21 @@ struct DdbProbeMsg {
 using DdbMessage = std::variant<RemoteLockRequestMsg, RemoteLockGrantMsg,
                                 PurgeTxnMsg, DdbProbeMsg>;
 
+/// Wire size of a DdbProbeMsg frame: 1 (type) + 4 (initiator) + 8 (sequence)
+/// + 8 (floor) + 2*8 (edge endpoints) + 1 (kind).  Every DDB frame fits.
+inline constexpr std::size_t kDdbFrameCapacity = 38;
+
+/// A stack-encoded frame; view() is valid for the frame's lifetime.  The
+/// detection hot path (one probe per inter-controller edge, every round)
+/// heap-allocates nothing.
+using DdbFrame = StackWriter<kDdbFrameCapacity>;
+
+[[nodiscard]] DdbFrame encode_small(const DdbProbeMsg& m);
+
+/// Serializes `msg` into `out` (cleared first; capacity retained).
+void encode_into(const DdbMessage& msg, Bytes& out);
+
 [[nodiscard]] Bytes encode(const DdbMessage& msg);
-[[nodiscard]] Result<DdbMessage> decode(const Bytes& payload);
+[[nodiscard]] Result<DdbMessage> decode(BytesView payload);
 
 }  // namespace cmh::ddb

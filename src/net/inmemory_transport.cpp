@@ -20,7 +20,7 @@ void InMemoryTransport::set_handler(NodeId node, Handler handler) {
   nodes_.at(node)->handler = std::move(handler);
 }
 
-void InMemoryTransport::send(NodeId from, NodeId to, Bytes payload) {
+void InMemoryTransport::send(NodeId from, NodeId to, BytesView payload) {
   Node* node = nullptr;
   {
     std::scoped_lock lock(nodes_mutex_);
@@ -28,7 +28,7 @@ void InMemoryTransport::send(NodeId from, NodeId to, Bytes payload) {
   }
   {
     std::scoped_lock lock(node->mutex);
-    node->queue.push_back(Mail{from, std::move(payload)});
+    node->queue.push_back(Mail{from, Bytes(payload.begin(), payload.end())});
   }
   node->cv.notify_one();
 }

@@ -29,7 +29,7 @@ class InMemoryTransport final : public Transport {
 
   NodeId add_node(Handler handler) override;
   void set_handler(NodeId node, Handler handler) override;
-  void send(NodeId from, NodeId to, Bytes payload) override;
+  void send(NodeId from, NodeId to, BytesView payload) override;
   void start() override;
   void stop() override;
 

@@ -19,8 +19,8 @@ class SimTransport final : public Transport {
     sim_.set_handler(node, std::move(handler));
   }
 
-  void send(NodeId from, NodeId to, Bytes payload) override {
-    sim_.send(from, to, std::move(payload));
+  void send(NodeId from, NodeId to, BytesView payload) override {
+    sim_.send(from, to, payload);
   }
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }

@@ -44,7 +44,7 @@ bool read_all(int fd, void* buf, std::size_t len) {
   return true;
 }
 
-bool send_frame(int fd, const Bytes& payload) {
+bool send_frame(int fd, BytesView payload) {
   std::uint32_t len = htonl(static_cast<std::uint32_t>(payload.size()));
   if (!write_all(fd, &len, sizeof(len))) return false;
   return payload.empty() || write_all(fd, payload.data(), payload.size());
@@ -250,7 +250,7 @@ int TcpTransport::connect_to(Node& src, NodeId dst) {
   return fd;
 }
 
-void TcpTransport::send(NodeId from, NodeId to, Bytes payload) {
+void TcpTransport::send(NodeId from, NodeId to, BytesView payload) {
   if (stopping_) return;  // shutting down; drops are acceptable
   Node* src = nullptr;
   {

@@ -37,7 +37,9 @@ class Transport {
   virtual void set_handler(NodeId node, Handler handler) = 0;
 
   /// Sends payload from `from` to `to`.  Never blocks on the receiver.
-  virtual void send(NodeId from, NodeId to, Bytes payload) = 0;
+  /// The view is only valid for the duration of the call; transports that
+  /// defer delivery copy it (into pooled or queued storage).
+  virtual void send(NodeId from, NodeId to, BytesView payload) = 0;
 
   /// Begins delivery (no-op for transports that deliver eagerly).
   virtual void start() {}

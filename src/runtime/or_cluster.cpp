@@ -14,7 +14,7 @@ OrCluster::OrCluster(std::uint32_t n, std::uint64_t seed,
     const ProcessId id{i};
     auto process = std::make_unique<core::OrProcess>(
         id,
-        [this, id](ProcessId to, const Bytes& payload) {
+        [this, id](ProcessId to, BytesView payload) {
           sim_.send(id.value(), to.value(), payload);
         },
         initiate_on_block);

@@ -14,7 +14,7 @@ SimCluster::SimCluster(std::uint32_t n, core::Options options,
     const ProcessId id{i};
     auto process = std::make_unique<core::BasicProcess>(
         id,
-        [this, id](ProcessId to, const Bytes& payload) {
+        [this, id](ProcessId to, BytesView payload) {
           sim_.send(id.value(), to.value(), payload);
         },
         options, &timers_);

@@ -100,7 +100,7 @@ ThreadedCluster::ThreadedCluster(net::Transport& transport, std::uint32_t n,
         std::make_unique<LockingTimerService>(timers_, cell.mutex);
     cell.process = std::make_unique<core::BasicProcess>(
         id,
-        [this, id](ProcessId to, const Bytes& payload) {
+        [this, id](ProcessId to, BytesView payload) {
           transport_.send(id.value(), to.value(), payload);
         },
         options, cell.timer_adapter.get());
@@ -178,7 +178,8 @@ core::ProcessStats ThreadedCluster::stats(ProcessId p) const {
 std::set<graph::Edge> ThreadedCluster::wfgd_edges(ProcessId p) const {
   const Cell& cell = *cells_.at(p.value());
   std::scoped_lock lock(cell.mutex);
-  return cell.process->wfgd_edges();
+  const auto& edges = cell.process->wfgd_edges();
+  return {edges.begin(), edges.end()};
 }
 
 std::optional<ProcessId> ThreadedCluster::wait_for_detection(

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -9,6 +10,9 @@ namespace {
 std::uint64_t channel_key(NodeId from, NodeId to) {
   return (static_cast<std::uint64_t>(from) << 32) | to;
 }
+
+// Bounds the payload-buffer pool; beyond this, returned buffers are freed.
+constexpr std::size_t kMaxPooledBuffers = 4096;
 }  // namespace
 
 Simulator::Simulator(std::uint64_t seed, DelayModel delays)
@@ -31,7 +35,48 @@ SimTime Simulator::draw_delay() {
                      static_cast<std::int64_t>(rng_.below(span + 1)));
 }
 
-void Simulator::send(NodeId from, NodeId to, Bytes payload) {
+SimTime& Simulator::channel_front(NodeId from, NodeId to) {
+  if (nodes_.size() > kFlatChannelLimit) {
+    return channel_spill_[channel_key(from, to)];
+  }
+  if (channel_stride_ < nodes_.size()) {
+    // Grow geometrically so repeated add_node/send interleavings stay
+    // O(n^2) total.  Entries are remapped from the old stride.
+    const std::size_t fresh_stride =
+        std::max<std::size_t>(nodes_.size(), channel_stride_ * 2);
+    std::vector<SimTime> fresh(fresh_stride * fresh_stride, SimTime::zero());
+    for (std::size_t f = 0; f < channel_stride_; ++f) {
+      for (std::size_t t = 0; t < channel_stride_; ++t) {
+        fresh[f * fresh_stride + t] = channel_flat_[f * channel_stride_ + t];
+      }
+    }
+    channel_flat_ = std::move(fresh);
+    channel_stride_ = fresh_stride;
+  }
+  return channel_flat_[static_cast<std::size_t>(from) * channel_stride_ + to];
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  free_slots_.push_back(slot);
+}
+
+void Simulator::recycle_buffer(Bytes&& buffer) {
+  if (buffer_pool_.size() >= kMaxPooledBuffers) return;
+  buffer.clear();  // keeps capacity
+  buffer_pool_.push_back(std::move(buffer));
+}
+
+void Simulator::send(NodeId from, NodeId to, BytesView payload) {
   if (to >= nodes_.size()) {
     throw std::out_of_range("Simulator::send: unknown destination node");
   }
@@ -41,50 +86,91 @@ void Simulator::send(NodeId from, NodeId to, Bytes payload) {
   SimTime deliver_at = now_ + draw_delay();
   // FIFO per channel: never deliver before an earlier message on the same
   // channel.  (+1us keeps distinct deliveries strictly ordered.)
-  auto& front = channel_front_[channel_key(from, to)];
+  SimTime& front = channel_front(from, to);
   if (deliver_at <= front) deliver_at = front + SimTime::us(1);
   front = deliver_at;
 
-  push(deliver_at, [this, from, to, p = std::move(payload)]() {
-    ++stats_.messages_delivered;
-    if (nodes_[to]) nodes_[to](from, p);
-  });
+  const std::uint32_t slot = acquire_slot();
+  Event& ev = slab_[slot];
+  ev.kind = EventKind::kMessage;
+  ev.from = from;
+  ev.to = to;
+  if (!buffer_pool_.empty()) {
+    ev.payload = std::move(buffer_pool_.back());
+    buffer_pool_.pop_back();
+  }
+  ev.payload.assign(payload.begin(), payload.end());
+  queue_.push(QueueEntry{deliver_at, next_seq_++, slot});
 }
 
 void Simulator::schedule(SimTime delay, std::function<void()> fn) {
   if (delay.micros < 0) {
     throw std::invalid_argument("Simulator::schedule: negative delay");
   }
-  push(now_ + delay, [this, f = std::move(fn)]() {
-    ++stats_.timers_fired;
-    f();
-  });
+  const std::uint32_t slot = acquire_slot();
+  Event& ev = slab_[slot];
+  ev.kind = EventKind::kCallback;
+  ev.fn = std::move(fn);
+  queue_.push(QueueEntry{now_ + delay, next_seq_++, slot});
 }
 
-void Simulator::push(SimTime at, std::function<void()> fn) {
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+void Simulator::dispatch(const QueueEntry& entry) {
+  now_ = entry.time;
+  ++stats_.events_processed;
+  // Move everything out of the slot and release it BEFORE invoking the
+  // handler: handlers enqueue further events, which may reuse the slot or
+  // reallocate the slab.
+  Event& ev = slab_[entry.slot];
+  if (ev.kind == EventKind::kMessage) {
+    const NodeId from = ev.from;
+    const NodeId to = ev.to;
+    Bytes payload = std::move(ev.payload);
+    release_slot(entry.slot);
+    ++stats_.messages_delivered;
+    if (nodes_[to]) nodes_[to](from, payload);
+    recycle_buffer(std::move(payload));
+  } else {
+    auto fn = std::move(ev.fn);
+    release_slot(entry.slot);
+    ++stats_.timers_fired;
+    fn();
+  }
 }
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top returns const&; the event is copied out so the
-  // handler may enqueue further events safely.
-  Event ev = queue_.top();
+  const QueueEntry entry = queue_.top();
   queue_.pop();
-  now_ = ev.time;
-  ++stats_.events_processed;
-  ev.fn();
+  dispatch(entry);
   return true;
 }
 
 SimTime Simulator::run() {
-  while (step()) {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    dispatch(entry);
   }
   return now_;
 }
 
+std::size_t Simulator::run_batch(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (processed < max_events && !queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    dispatch(entry);
+    ++processed;
+  }
+  return processed;
+}
+
 void Simulator::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) step();
+  while (!queue_.empty() && queue_.top().time <= t) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    dispatch(entry);
+  }
   if (now_ < t) now_ = t;
 }
 

@@ -9,6 +9,18 @@
 //
 // The simulator also provides timers, which the initiation policies and the
 // workload drivers use, and counters for the benchmark harness.
+//
+// Hot-path layout (the event loop dominates every experiment bench):
+//   * Events are tagged structs in a slab with a free list -- message
+//     deliveries carry (from, to, payload) directly instead of boxing a
+//     closure in std::function; only explicit timers pay for one.
+//   * Payload buffers are pooled: a delivered message's buffer returns to
+//     the pool with its capacity intact, so steady-state traffic performs
+//     zero heap allocations.
+//   * Channel FIFO fronts live in a flat src*stride+dst vector once the
+//     node count is known (hash map only beyond kFlatChannelLimit nodes).
+// Determinism is unchanged: same seed => bit-identical event order and
+// stats (enforced by the golden-trace test).
 #pragma once
 
 #include <cstdint>
@@ -63,8 +75,10 @@ class Simulator {
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
-  /// Enqueues a message for in-order delivery after a random delay.
-  void send(NodeId from, NodeId to, Bytes payload);
+  /// Enqueues a message for in-order delivery after a random delay.  The
+  /// payload is copied into a pooled buffer; the view need only be valid
+  /// for the duration of the call.
+  void send(NodeId from, NodeId to, BytesView payload);
 
   /// Schedules `fn` to run at now() + delay.
   void schedule(SimTime delay, std::function<void()> fn);
@@ -79,6 +93,13 @@ class Simulator {
   /// Runs until no events remain.  Returns the final virtual time.
   SimTime run();
 
+  /// Batched-delivery mode: processes up to `max_events` events without
+  /// per-event caller round-trips; returns the number processed (less than
+  /// `max_events` iff the queue drained).  Event order is identical to
+  /// step()-ing in a loop -- this is a throughput interface, not a
+  /// different schedule.
+  std::size_t run_batch(std::size_t max_events);
+
   /// Runs until the given virtual time (inclusive) or until idle.
   void run_until(SimTime t);
 
@@ -88,27 +109,54 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
 
  private:
+  enum class EventKind : std::uint8_t { kMessage, kCallback };
+
+  // Slab entry.  Message events use (from, to, payload); callback events
+  // use fn.  Both payload buffer and slot are recycled.
   struct Event {
-    SimTime time;
-    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    EventKind kind{EventKind::kMessage};
+    NodeId from{0};
+    NodeId to{0};
+    Bytes payload;
     std::function<void()> fn;
   };
+
+  // Heap entry: 24 bytes, trivially copyable.
+  struct QueueEntry {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    std::uint32_t slot;
+  };
   struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
       if (a.time != b.time) return b.time < a.time;
       return b.seq < a.seq;
     }
   };
 
-  void push(SimTime at, std::function<void()> fn);
+  // Above this node count the flat channel matrix would be too large;
+  // fall back to the hash map (1024^2 entries == 8 MiB).
+  static constexpr std::size_t kFlatChannelLimit = 1024;
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void recycle_buffer(Bytes&& buffer);
+  void dispatch(const QueueEntry& entry);
+  SimTime& channel_front(NodeId from, NodeId to);
   SimTime draw_delay();
 
   SimTime now_{SimTime::zero()};
   std::uint64_t next_seq_{0};
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, EventLater> queue_;
+  std::vector<Event> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<Bytes> buffer_pool_;
   std::vector<MessageHandler> nodes_;
   // Last scheduled delivery time per (src,dst), for FIFO enforcement.
-  std::unordered_map<std::uint64_t, SimTime> channel_front_;
+  // Flat matrix while node count <= kFlatChannelLimit, hash map beyond.
+  std::vector<SimTime> channel_flat_;
+  std::size_t channel_stride_{0};
+  std::unordered_map<std::uint64_t, SimTime> channel_spill_;
   Rng rng_;
   DelayModel delays_;
   SimStats stats_;

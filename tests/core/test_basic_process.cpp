@@ -19,8 +19,8 @@ class Rig {
       const ProcessId id{i};
       procs_.push_back(std::make_unique<BasicProcess>(
           id,
-          [this, id](ProcessId to, const Bytes& payload) {
-            wires_[{id, to}].push_back(payload);
+          [this, id](ProcessId to, BytesView payload) {
+            wires_[{id, to}].emplace_back(payload.begin(), payload.end());
           },
           options));
     }
@@ -318,7 +318,7 @@ TEST(Probe, DelayedModeRequiresTimerService) {
   Options o;
   o.initiation = InitiationMode::kDelayed;
   EXPECT_THROW(
-      BasicProcess(ProcessId{0}, [](ProcessId, const Bytes&) {}, o, nullptr),
+      BasicProcess(ProcessId{0}, [](ProcessId, BytesView) {}, o, nullptr),
       std::invalid_argument);
 }
 

@@ -1,0 +1,130 @@
+// Codec equivalence and robustness properties:
+//   * the stack fast path (encode_small), the scratch-buffer path
+//     (encode_into) and the allocating path (encode) emit byte-identical
+//     frames for the same message;
+//   * every message round-trips;
+//   * every proper prefix of a valid frame is rejected with
+//     kInvalidArgument -- truncation at ANY byte offset, not just the
+//     offsets a hand-picked test happens to cover.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/messages.h"
+#include "core/or_model.h"
+
+namespace cmh::core {
+namespace {
+
+std::vector<Message> sample_messages() {
+  std::vector<Message> msgs;
+  msgs.emplace_back(RequestMsg{});
+  msgs.emplace_back(ReplyMsg{});
+  msgs.emplace_back(ProbeMsg{ProbeTag{ProcessId{0}, 0}});
+  msgs.emplace_back(ProbeMsg{ProbeTag{ProcessId{0xFFFFFFFF}, ~0ULL}});
+  msgs.emplace_back(ProbeMsg{ProbeTag{ProcessId{7}, 123456}});
+  msgs.emplace_back(WfgdMsg{});
+  msgs.emplace_back(
+      WfgdMsg{{graph::Edge{ProcessId{1}, ProcessId{2}},
+               graph::Edge{ProcessId{2}, ProcessId{1}}}});
+  WfgdMsg big;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    big.edges.push_back(graph::Edge{ProcessId{i}, ProcessId{i + 1}});
+  }
+  msgs.emplace_back(std::move(big));
+  return msgs;
+}
+
+TEST(CodecEquivalence, SmallFramesMatchGenericEncoder) {
+  const RequestMsg request;
+  const ReplyMsg reply;
+  const ProbeMsg probe{ProbeTag{ProcessId{42}, 0xDEADBEEFCAFEULL}};
+
+  const auto check = [](const SmallFrame& frame, const Message& msg) {
+    const Bytes generic = encode(msg);
+    ASSERT_EQ(frame.size(), generic.size());
+    EXPECT_TRUE(std::equal(frame.data(), frame.data() + frame.size(),
+                           generic.begin()));
+  };
+  check(encode_small(request), Message{request});
+  check(encode_small(reply), Message{reply});
+  check(encode_small(probe), Message{probe});
+}
+
+TEST(CodecEquivalence, EncodeIntoMatchesEncodeAndReusesCapacity) {
+  Bytes scratch;
+  for (const Message& msg : sample_messages()) {
+    encode_into(msg, scratch);
+    EXPECT_EQ(scratch, encode(msg));
+  }
+  // A big frame followed by a small one: the buffer shrinks logically but
+  // keeps its capacity, so repeated small encodes never reallocate.
+  const std::size_t cap = scratch.capacity();
+  encode_into(Message{ProbeMsg{ProbeTag{ProcessId{1}, 2}}}, scratch);
+  EXPECT_GE(cap, scratch.size());
+  EXPECT_GE(scratch.capacity(), cap);
+}
+
+TEST(CodecRoundTrip, AllMessageTypes) {
+  for (const Message& msg : sample_messages()) {
+    const Bytes bytes = encode(msg);
+    const auto decoded = decode(bytes);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded->index(), msg.index());
+    if (const auto* probe = std::get_if<ProbeMsg>(&msg)) {
+      EXPECT_EQ(std::get<ProbeMsg>(*decoded).tag, probe->tag);
+    } else if (const auto* wfgd = std::get_if<WfgdMsg>(&msg)) {
+      EXPECT_EQ(std::get<WfgdMsg>(*decoded).edges, wfgd->edges);
+    }
+  }
+}
+
+TEST(CodecTruncation, EveryProperPrefixRejected) {
+  for (const Message& msg : sample_messages()) {
+    const Bytes bytes = encode(msg);
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      const auto r = decode(BytesView(bytes.data(), cut));
+      EXPECT_FALSE(r.ok()) << "prefix of " << cut << '/' << bytes.size();
+      EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(CodecTruncation, TrailingGarbageStillDecodes) {
+  // The codecs are length-framed by the transport; bytes beyond a complete
+  // frame are the next frame's problem, not an error here.
+  Bytes bytes = encode(Message{ProbeMsg{ProbeTag{ProcessId{3}, 9}}});
+  bytes.push_back(0x55);
+  EXPECT_TRUE(decode(bytes).ok());
+}
+
+TEST(OrCodecEquivalence, SmallFramesMatchGenericEncoder) {
+  const std::vector<OrMessage> msgs{
+      OrMessage{OrSignalMsg{}},
+      OrMessage{OrQueryMsg{ProbeTag{ProcessId{5}, 77}}},
+      OrMessage{OrReplyMsg{ProbeTag{ProcessId{0xFFFFFFFF}, ~0ULL}}},
+  };
+  for (const OrMessage& msg : msgs) {
+    const OrFrame frame = or_encode_small(msg);
+    const Bytes generic = or_encode(msg);
+    ASSERT_EQ(frame.size(), generic.size());
+    EXPECT_TRUE(std::equal(frame.data(), frame.data() + frame.size(),
+                           generic.begin()));
+    const auto decoded = or_decode(generic);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->index(), msg.index());
+  }
+}
+
+TEST(OrCodecTruncation, EveryProperPrefixRejected) {
+  const Bytes bytes =
+      or_encode(OrMessage{OrQueryMsg{ProbeTag{ProcessId{5}, 77}}});
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const auto r = or_decode(BytesView(bytes.data(), cut));
+    EXPECT_FALSE(r.ok()) << "prefix of " << cut;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace cmh::core

@@ -26,8 +26,8 @@ class Rig {
       const SiteId id{i};
       controllers_.push_back(std::make_unique<Controller>(
           id, n_sites,
-          [this, id](SiteId to, const Bytes& payload) {
-            wires_[{id, to}].push_back(payload);
+          [this, id](SiteId to, BytesView payload) {
+            wires_[{id, to}].emplace_back(payload.begin(), payload.end());
           },
           [n_sites](ResourceId r) { return SiteId{r.value() % n_sites}; },
           options, TimerFn{}));

@@ -46,13 +46,15 @@ TEST(SimClusterOracle, ProcessViewMatchesOracleAtQuiescence) {
     const auto& proc = cluster.process(p);
     // Local out edges == oracle successors.
     const auto succ = cluster.oracle().successors(p);
+    const auto& waits = proc.waits_for();
     EXPECT_EQ(std::set<ProcessId>(succ.begin(), succ.end()),
-              proc.waits_for());
+              std::set<ProcessId>(waits.begin(), waits.end()));
     // Local black in edges == oracle black predecessors.
     const auto preds =
         cluster.oracle().predecessors(p, graph::EdgeColor::kBlack);
+    const auto& held = proc.held_requests();
     EXPECT_EQ(std::set<ProcessId>(preds.begin(), preds.end()),
-              proc.held_requests());
+              std::set<ProcessId>(held.begin(), held.end()));
   }
 }
 
