@@ -4,6 +4,8 @@
 // bench_micro.cpp covers the per-operation costs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "graph/generators.h"
 #include "runtime/sim_cluster.h"
 #include "runtime/workload.h"
@@ -110,6 +112,53 @@ void BM_DetectionWaveRing(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_DetectionWaveRing)->Range(8, 256)->Complexity();
+
+/// Parallel-engine scaling sweep: 65536 processes tiled into 4096 disjoint
+/// 16-cycles (contiguous blocks, so the cycles stay shard-local), every ring
+/// head initiating at once.  Only the detection wave is timed (manual time);
+/// cluster construction and the wedge run are setup.  The arg is the shard
+/// count K -- identical schedule for every K by the determinism invariant,
+/// so the sweep isolates pure engine scaling.  The oracle is off: it is
+/// global state the parallel engine must not share (and its bookkeeping
+/// would dwarf the event loop at this scale anyway).
+void BM_ShardedDetectionWave(benchmark::State& state) {
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  constexpr std::uint32_t kProcs = 65536;
+  constexpr std::uint32_t kRingLen = 16;
+  core::Options options;
+  options.initiation = core::InitiationMode::kManual;
+  const graph::Scenario scenario =
+      graph::make_disjoint_rings(kProcs, kRingLen);
+  std::uint64_t probes = 0;
+  for (auto _ : state) {
+    runtime::SimCluster cluster(
+        kProcs, options,
+        runtime::SimClusterConfig{
+            .seed = 17, .shards = shards, .track_oracle = false});
+    runtime::issue_scenario(cluster, scenario);
+    cluster.run();  // wedge: all requests delivered, every process blocked
+    for (const ProcessId head : scenario.planted_cycle) {
+      cluster.process(head).initiate();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    cluster.run();  // timed: 4096 concurrent detection waves
+    const auto t1 = std::chrono::steady_clock::now();
+    if (cluster.detections().size() < scenario.planted_cycle.size()) {
+      state.SkipWithError("detection waves incomplete");
+      return;
+    }
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count());
+    probes += cluster.total_stats().probes_sent;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(probes));
+}
+BENCHMARK(BM_ShardedDetectionWave)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 /// Random request/reply workload at steady state: the closest thing to the
 /// paper's "normal operation" overhead measurements.  ordered_requests

@@ -23,10 +23,17 @@ Usage:
     bench/run_benchmarks.py [--build-dir build] [--out-dir .]
                             [--suite micro|sim|all] [--min-time SECS]
                             [--compare OLD.json]
+                            [--fail-on-regress PCT] [--hot NAME ...]
 
 --min-time is passed through to --benchmark_min_time (this tree's
 google-benchmark takes a plain double, not the newer "0.01x" form).
 --compare prints an old-vs-new table against a previously committed file.
+--fail-on-regress PCT (requires --compare) exits non-zero when any *hot*
+benchmark got more than PCT percent slower than the old file.  Hot
+benchmarks are named with repeated --hot flags (prefix match, so
+"--hot BM_SimMessageChurn" covers every /N variant); with no --hot flags a
+built-in list of the event-loop-bound benchmarks is used.  Only regressions
+gate -- new or removed benchmarks are reported but never fail the run.
 """
 
 from __future__ import annotations
@@ -41,6 +48,17 @@ SUITES = {
     "micro": "bench_micro",
     "sim": "bench_sim",
 }
+
+# Benchmarks whose regressions gate CI (prefix match).  These are the ones
+# dominated by the hot paths PR 1 and the sharded-engine PR optimized; the
+# macro detection-wave numbers are tracked but too workload-shaped to gate.
+DEFAULT_HOT = [
+    "BM_SimMessageChurn",
+    "BM_SimBatchedChurn",
+    "BM_SimTimerStorm",
+    "BM_EncodeProbe",
+    "BM_DecodeProbe",
+]
 
 
 def run_suite(binary: pathlib.Path, min_time: float | None) -> list[dict]:
@@ -101,6 +119,24 @@ def print_comparison(old: dict[str, float], new: list[dict]) -> None:
               f"{ratio:>7.2f}x")
 
 
+def find_regressions(old: dict[str, float], new: list[dict],
+                     hot: list[str], threshold_pct: float) -> list[str]:
+    """Hot benchmarks that got more than threshold_pct slower."""
+    failures = []
+    for entry in new:
+        name = entry["name"]
+        if name not in old or old[name] <= 0.0:
+            continue
+        if not any(name.startswith(prefix) for prefix in hot):
+            continue
+        slowdown_pct = (entry["time_ns"] / old[name] - 1.0) * 100.0
+        if slowdown_pct > threshold_pct:
+            failures.append(
+                f"{name}: {old[name]:.1f} ns -> {entry['time_ns']:.1f} ns "
+                f"(+{slowdown_pct:.1f}% > {threshold_pct:.0f}%)")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build", type=pathlib.Path)
@@ -109,10 +145,18 @@ def main() -> int:
                         choices=[*SUITES.keys(), "all"])
     parser.add_argument("--min-time", default=None, type=float)
     parser.add_argument("--compare", default=None, type=pathlib.Path)
+    parser.add_argument("--fail-on-regress", default=None, type=float,
+                        metavar="PCT")
+    parser.add_argument("--hot", action="append", default=None,
+                        metavar="NAME")
     args = parser.parse_args()
+
+    if args.fail_on_regress is not None and args.compare is None:
+        parser.error("--fail-on-regress requires --compare")
 
     suites = list(SUITES) if args.suite == "all" else [args.suite]
     old = load_times(args.compare) if args.compare else None
+    failures: list[str] = []
     for suite in suites:
         binary = args.build_dir / "bench" / SUITES[suite]
         if not binary.exists():
@@ -124,6 +168,15 @@ def main() -> int:
         print(f"wrote {path} ({len(benchmarks)} benchmarks)")
         if old is not None:
             print_comparison(old, benchmarks)
+            if args.fail_on_regress is not None:
+                failures += find_regressions(old, benchmarks,
+                                             args.hot or DEFAULT_HOT,
+                                             args.fail_on_regress)
+    if failures:
+        print("\nhot-benchmark regressions:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 2
     return 0
 
 

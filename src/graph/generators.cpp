@@ -30,6 +30,25 @@ Scenario make_ring(std::uint32_t n, std::uint32_t cycle_len) {
   return s;
 }
 
+Scenario make_disjoint_rings(std::uint32_t n, std::uint32_t ring_len) {
+  if (ring_len < 2 || ring_len > n) {
+    throw std::invalid_argument("make_disjoint_rings: need 2 <= ring_len <= n");
+  }
+  Scenario s;
+  s.n_processes = n;
+  const std::uint32_t rings = n / ring_len;
+  s.script.reserve(static_cast<std::size_t>(rings) * ring_len * 2);
+  for (std::uint32_t j = 0; j < rings; ++j) {
+    const std::uint32_t base = j * ring_len;
+    for (std::uint32_t i = 0; i < ring_len; ++i) {
+      push_dark_edge(s, ProcessId{base + i},
+                     ProcessId{base + (i + 1) % ring_len});
+    }
+    s.planted_cycle.push_back(ProcessId{base});
+  }
+  return s;
+}
+
 Scenario make_ring_with_tails(std::uint32_t n, std::uint32_t cycle_len,
                               std::uint32_t extra_edges, std::uint64_t seed) {
   Scenario s = make_ring(n, cycle_len);

@@ -37,6 +37,15 @@ struct Scenario {
 /// created then blackened, embedded among `n` processes total.
 [[nodiscard]] Scenario make_ring(std::uint32_t n, std::uint32_t cycle_len);
 
+/// Many independent ring deadlocks tiling [0, n): ring j occupies the
+/// contiguous id block [j*ring_len, (j+1)*ring_len); leftover ids idle.
+/// Contiguous blocks align with the sharded simulator's partition, so a
+/// K-shard run keeps each deadlock cycle (mostly) shard-local -- the
+/// workload shape for parallel-engine scaling sweeps.  The planted_cycle
+/// lists every ring's head vertex.
+[[nodiscard]] Scenario make_disjoint_rings(std::uint32_t n,
+                                           std::uint32_t ring_len);
+
 /// Ring deadlock plus `extra_edges` additional dark edges from random
 /// off-cycle vertices toward random vertices (attached trees / chains that
 /// transitively wait on the cycle), as in a realistic blocked system.

@@ -1,5 +1,11 @@
 // Adapts the discrete-event simulator to the Transport interface so the
 // same harness code can run deterministically or on real threads/sockets.
+//
+// Works unchanged on the sharded engine: Transport::send is already
+// (from, to, payload), exactly the signature the simulator needs to route
+// by shard, and handlers registered here run under the same ownership rule
+// as plain simulator handlers (sends on behalf of own-shard nodes only
+// during parallel runs).
 #pragma once
 
 #include "net/transport.h"
@@ -24,6 +30,7 @@ class SimTransport final : public Transport {
   }
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const sim::Simulator& simulator() const { return sim_; }
 
  private:
   sim::Simulator& sim_;

@@ -15,11 +15,13 @@ namespace cmh::net {
 
 namespace {
 
-// Writes exactly `len` bytes; returns false on error/EOF.
+// Writes exactly `len` bytes; returns false on error/EOF.  MSG_NOSIGNAL:
+// a peer that disconnected mid-frame must surface as EPIPE on this call,
+// not as a process-killing SIGPIPE.
 bool write_all(int fd, const void* buf, std::size_t len) {
   const auto* p = static_cast<const std::uint8_t*>(buf);
   while (len > 0) {
-    const ssize_t n = ::write(fd, p, len);
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return false;
@@ -69,6 +71,7 @@ NodeId TcpTransport::add_node(Handler handler) {
   }
   auto node = std::make_unique<Node>();
   node->handler = std::move(handler);
+  node->id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::move(node));
   return static_cast<NodeId>(nodes_.size() - 1);
 }
@@ -126,23 +129,23 @@ void TcpTransport::stop() {
   if (!started_.exchange(false)) return;
   stopping_ = true;
 
-  // Close sockets under the registry lock: the listening sockets unblock
-  // the acceptors, the data sockets unblock the readers.
-  {
-    std::scoped_lock lock(nodes_mutex_);
-    for (auto& node : nodes_) {
-      if (node->listen_fd >= 0) {
-        ::shutdown(node->listen_fd, SHUT_RDWR);
-        ::close(node->listen_fd);
-        node->listen_fd = -1;
-      }
-      std::scoped_lock out_lock(node->out_mutex);
-      for (int& fd : node->out_fds) {
-        if (fd >= 0) {
-          ::shutdown(fd, SHUT_RDWR);
-          ::close(fd);
-          fd = -1;
-        }
+  // Close sockets: the listening sockets unblock the acceptors, the data
+  // sockets unblock the readers.  nodes_ itself is immutable after start(),
+  // so no registry lock is needed -- and taking nodes_mutex_ here while
+  // grabbing each out_mutex would invert send()'s
+  // out_mutex-before-nodes_mutex order (TSan-reported potential deadlock).
+  for (auto& node : nodes_) {
+    const int listen_fd = node->listen_fd.exchange(-1);
+    if (listen_fd >= 0) {
+      ::shutdown(listen_fd, SHUT_RDWR);
+      ::close(listen_fd);
+    }
+    std::scoped_lock out_lock(node->out_mutex);
+    for (int& fd : node->out_fds) {
+      if (fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+        fd = -1;
       }
     }
   }
@@ -168,7 +171,9 @@ void TcpTransport::stop() {
 
 void TcpTransport::acceptor_loop(Node& node) {
   for (;;) {
-    const int fd = ::accept(node.listen_fd, nullptr, nullptr);
+    const int listen_fd = node.listen_fd.load();
+    if (listen_fd < 0) return;  // stop() already closed the listener
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listener closed during stop()
@@ -218,15 +223,12 @@ void TcpTransport::deliverer_loop(Node& node) {
 }
 
 int TcpTransport::connect_to(Node& src, NodeId dst) {
-  std::uint16_t dst_port = 0;
-  NodeId src_id = 0;
-  {
-    std::scoped_lock lock(nodes_mutex_);
-    dst_port = nodes_.at(dst)->port;
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      if (nodes_[i].get() == &src) src_id = static_cast<NodeId>(i);
-    }
-  }
+  // Ports and ids are immutable once start() has returned (and the caller
+  // already bounds-checked dst under nodes_mutex_), so no lock here -- the
+  // caller holds src.out_mutex, and taking nodes_mutex_ under it would
+  // invert stop()'s locking order.
+  const std::uint16_t dst_port = nodes_[dst]->port;
+  const NodeId src_id = src.id;
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return -1;

@@ -45,7 +45,9 @@ class TcpTransport final : public Transport {
  private:
   struct Node {
     Handler handler;
-    int listen_fd{-1};
+    NodeId id{0};
+    // Atomic: stop() closes it while the acceptor thread is reading it.
+    std::atomic<int> listen_fd{-1};
     std::uint16_t port{0};
     std::thread acceptor;
     std::vector<std::thread> readers;

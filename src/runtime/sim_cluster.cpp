@@ -6,7 +6,20 @@ namespace cmh::runtime {
 
 SimCluster::SimCluster(std::uint32_t n, core::Options options,
                        std::uint64_t seed, sim::DelayModel delays)
-    : sim_(seed, delays), timers_(sim_) {
+    : SimCluster(n, options,
+                 SimClusterConfig{.seed = seed, .delays = delays}) {}
+
+SimCluster::SimCluster(std::uint32_t n, core::Options options,
+                       const SimClusterConfig& config)
+    : sim_(config.seed, config.delays, config.shards),
+      timers_(sim_),
+      track_oracle_(config.track_oracle) {
+  if (track_oracle_ && config.shards > 1) {
+    throw std::invalid_argument(
+        "SimCluster: the oracle graph is global mutable state and cannot be "
+        "tracked while shard workers run handlers concurrently; construct "
+        "with track_oracle = false");
+  }
   processes_.reserve(n);
   // Node ids equal process ids by construction.
   for (std::uint32_t i = 0; i < n; ++i) sim_.add_node({});
@@ -20,7 +33,10 @@ SimCluster::SimCluster(std::uint32_t n, core::Options options,
         options, &timers_);
     process->set_deadlock_callback([this, id](const ProbeTag& tag) {
       const DeadlockEvent event{tag, id, sim_.now()};
-      detections_.push_back(event);
+      {
+        const std::lock_guard<std::mutex> lock(detections_mutex_);
+        detections_.push_back(event);
+      }
       if (on_detection_) on_detection_(event);
     });
     processes_.push_back(std::move(process));
@@ -32,6 +48,13 @@ SimCluster::SimCluster(std::uint32_t n, core::Options options,
 
 void SimCluster::on_delivery(ProcessId to, ProcessId from,
                              const Bytes& payload) {
+  if (!track_oracle_) {
+    // Perf path (and the only shard-safe path): no decode, no global graph,
+    // no hooks -- just the process.  Runs concurrently across shards.
+    const auto st = processes_[to.value()]->on_message(from, payload);
+    if (!st.ok()) throw std::logic_error("on_message: " + st.to_string());
+    return;
+  }
   // Oracle transitions happen at delivery instants (G2, G4); decode first to
   // classify, then hand the same bytes to the process.
   auto decoded = core::decode(payload);
@@ -52,16 +75,29 @@ void SimCluster::on_delivery(ProcessId to, ProcessId from,
 }
 
 void SimCluster::request(ProcessId from, ProcessId to) {
-  const auto st = oracle_.create(from, to);
-  if (!st.ok()) throw std::logic_error("oracle create: " + st.to_string());
+  if (track_oracle_) {
+    const auto st = oracle_.create(from, to);
+    if (!st.ok()) throw std::logic_error("oracle create: " + st.to_string());
+  }
   process(from).send_request(to);
 }
 
 void SimCluster::reply(ProcessId from, ProcessId to) {
   // Edge (to, from) whitens when p_from sends the reply (G3).
-  const auto st = oracle_.whiten(to, from);
-  if (!st.ok()) throw std::logic_error("oracle whiten: " + st.to_string());
+  if (track_oracle_) {
+    const auto st = oracle_.whiten(to, from);
+    if (!st.ok()) throw std::logic_error("oracle whiten: " + st.to_string());
+  }
   process(from).send_reply(to);
+}
+
+void SimCluster::add_delivery_hook(DeliveryHook hook) {
+  if (!track_oracle_) {
+    throw std::logic_error(
+        "SimCluster::add_delivery_hook: the oracle-free delivery path does "
+        "not decode messages, so hooks would never fire");
+  }
+  hooks_.push_back(std::move(hook));
 }
 
 core::ProcessStats SimCluster::total_stats() const {

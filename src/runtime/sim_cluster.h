@@ -8,10 +8,17 @@
 //   remove  -- when the reply is delivered   (G4)
 // so at every point in virtual time the oracle is exactly the paper's global
 // wait-for graph, and QRP1/QRP2 can be checked literally against it.
+// Sharded runs: construct with SimClusterConfig{.shards = K} to put the
+// cluster on the parallel simulation engine.  The oracle is one shared
+// mutable graph touched from every delivery, so it cannot be kept while
+// handlers run concurrently -- large-scale perf runs set
+// track_oracle = false (detection events themselves are still recorded,
+// under a mutex).
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/basic_process.h"
@@ -38,10 +45,23 @@ struct DeadlockEvent {
   SimTime at;         // virtual time of declaration
 };
 
+/// Construction knobs beyond the per-process Options.
+struct SimClusterConfig {
+  std::uint64_t seed{1};
+  sim::DelayModel delays{};
+  /// Simulator shard count; >1 runs the cluster on the parallel engine.
+  std::uint32_t shards{1};
+  /// Maintain the ground-truth colored wait-for graph (and delivery hooks).
+  /// Must be false when shards > 1: the oracle is global mutable state.
+  bool track_oracle{true};
+};
+
 class SimCluster {
  public:
   SimCluster(std::uint32_t n, core::Options options, std::uint64_t seed = 1,
              sim::DelayModel delays = {});
+  SimCluster(std::uint32_t n, core::Options options,
+             const SimClusterConfig& config);
 
   [[nodiscard]] std::uint32_t size() const {
     return static_cast<std::uint32_t>(processes_.size());
@@ -76,11 +96,10 @@ class SimCluster {
 
   /// Per-delivery hooks (run after the process handled the message).  Used
   /// by workloads and baseline detectors to react to request/reply arrivals.
+  /// Requires oracle tracking: the hook path decodes every delivery.
   using DeliveryHook =
       std::function<void(ProcessId to, ProcessId from, const core::Message&)>;
-  void add_delivery_hook(DeliveryHook hook) {
-    hooks_.push_back(std::move(hook));
-  }
+  void add_delivery_hook(DeliveryHook hook);
 
   /// Runs the simulator until idle; returns final virtual time.
   SimTime run() { return sim_.run(); }
@@ -94,9 +113,11 @@ class SimCluster {
 
   sim::Simulator sim_;
   SimTimerService timers_;
+  bool track_oracle_;
   graph::WaitForGraph oracle_;
   std::vector<std::unique_ptr<core::BasicProcess>> processes_;
   std::vector<DeadlockEvent> detections_;
+  std::mutex detections_mutex_;  // declarations may come from shard workers
   std::vector<DeliveryHook> hooks_;
   DetectionCallback on_detection_;
 };

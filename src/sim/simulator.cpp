@@ -7,19 +7,85 @@
 namespace cmh::sim {
 
 namespace {
+
 std::uint64_t channel_key(NodeId from, NodeId to) {
   return (static_cast<std::uint64_t>(from) << 32) | to;
 }
 
-// Bounds the payload-buffer pool; beyond this, returned buffers are freed.
+// Bounds each shard's payload-buffer pool; beyond this, buffers are freed.
 constexpr std::size_t kMaxPooledBuffers = 4096;
+
+// SplitMix64 finalizer: the bijective avalanche behind the counter-based
+// delay draws.  Statistically equivalent to the old stream RNG (same
+// construction as common/rng.h) but addressable by (seed, channel, index)
+// instead of draw order, which is what makes the schedule independent of the
+// shard count.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Which (simulator, shard, owner-node) is currently dispatching on this
+// thread.  Routes send()/schedule()/now() issued from inside handlers
+// without any shared mutable state.
+struct CurCtx {
+  const void* sim{nullptr};
+  std::uint32_t shard{0};
+  std::uint32_t owner{0};
+};
+
+thread_local CurCtx g_ctx;
+
+struct CtxGuard {
+  CurCtx saved;
+  CtxGuard(const void* sim, std::uint32_t shard, std::uint32_t owner)
+      : saved(g_ctx) {
+    g_ctx = CurCtx{sim, shard, owner};
+  }
+  ~CtxGuard() { g_ctx = saved; }
+  CtxGuard(const CtxGuard&) = delete;
+  CtxGuard& operator=(const CtxGuard&) = delete;
+};
+
 }  // namespace
 
-Simulator::Simulator(std::uint64_t seed, DelayModel delays)
-    : rng_(seed), delays_(delays) {}
+Simulator::Simulator(std::uint64_t seed, DelayModel delays,
+                     std::uint32_t shards)
+    : seed_(seed),
+      delays_(delays),
+      shard_count_(shards == 0 ? 1 : shards) {
+  if (shard_count_ > 1 && delays_.min < SimTime::us(1)) {
+    throw std::invalid_argument(
+        "Simulator: sharded mode needs DelayModel::min >= 1us (it is the "
+        "conservative lookahead)");
+  }
+  // Bucket width tuned so the delay span covers a fraction of the ring.
+  const std::int64_t width_hint =
+      std::max<std::int64_t>(1, delays_.max.micros / 64);
+  shards_.reserve(shard_count_);
+  for (std::uint32_t s = 0; s < shard_count_; ++s) {
+    shards_.emplace_back(width_hint);
+  }
+  // Single-shard keeps the fully lazy legacy behavior (grow-as-you-go
+  // channel matrix, add_node at any time); multi-shard freezes the
+  // partition at the first event.
+  partition_frozen_ = (shard_count_ == 1);
+}
+
+Simulator::~Simulator() { stop_pool(); }
 
 NodeId Simulator::add_node(MessageHandler handler) {
+  if (partition_frozen_ && shard_count_ > 1) {
+    throw std::logic_error(
+        "Simulator::add_node: node set is frozen once the first event is "
+        "scheduled in sharded mode");
+  }
   nodes_.push_back(std::move(handler));
+  timer_seq_.push_back(0);
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -27,149 +93,290 @@ void Simulator::set_handler(NodeId node, MessageHandler handler) {
   nodes_.at(node) = std::move(handler);
 }
 
-SimTime Simulator::draw_delay() {
+void Simulator::ensure_partition() {
+  // Only reachable with shard_count_ > 1 (single-shard constructs frozen).
+  const std::size_t n = nodes_.size();
+  shard_block_ = std::max<std::size_t>(1, (n + shard_count_ - 1) / shard_count_);
+  if (n > 0 && n <= kFlatChannelLimit) {
+    channel_stride_ = n;
+    channel_flat_.assign(n * n, ChannelState{});
+  }
+  partition_frozen_ = true;
+}
+
+std::uint32_t Simulator::acquire_slot(ShardState& shard) {
+  if (!shard.free_slots.empty()) {
+    const std::uint32_t slot = shard.free_slots.back();
+    shard.free_slots.pop_back();
+    return slot;
+  }
+  shard.slab.emplace_back();
+  return static_cast<std::uint32_t>(shard.slab.size() - 1);
+}
+
+void Simulator::release_slot(ShardState& shard, std::uint32_t slot) {
+  shard.free_slots.push_back(slot);
+}
+
+Bytes Simulator::take_buffer(ShardState& shard) {
+  if (shard.buffer_pool.empty()) return Bytes{};
+  Bytes buf = std::move(shard.buffer_pool.back());
+  shard.buffer_pool.pop_back();
+  return buf;
+}
+
+void Simulator::recycle_buffer(ShardState& shard, Bytes&& buffer) {
+  if (shard.buffer_pool.size() >= kMaxPooledBuffers) return;
+  buffer.clear();  // keeps capacity
+  shard.buffer_pool.push_back(std::move(buffer));
+}
+
+Simulator::ChannelState& Simulator::channel_state(NodeId from, NodeId to) {
+  if (nodes_.size() <= kFlatChannelLimit) {
+    if (channel_stride_ < nodes_.size()) {
+      // Single-shard lazy growth (multi-shard pre-sizes at the freeze).
+      // Grow geometrically so repeated add_node/send interleavings stay
+      // O(n^2) total; entries are remapped from the old stride.
+      const std::size_t fresh_stride =
+          std::max<std::size_t>(nodes_.size(), channel_stride_ * 2);
+      std::vector<ChannelState> fresh(fresh_stride * fresh_stride);
+      for (std::size_t f = 0; f < channel_stride_; ++f) {
+        for (std::size_t t = 0; t < channel_stride_; ++t) {
+          fresh[f * fresh_stride + t] = channel_flat_[f * channel_stride_ + t];
+        }
+      }
+      channel_flat_ = std::move(fresh);
+      channel_stride_ = fresh_stride;
+    }
+    return channel_flat_[static_cast<std::size_t>(from) * channel_stride_ + to];
+  }
+  if (!channel_flat_.empty()) migrate_flat_to_spill();
+  return shards_[shard_of(from)].channel_spill[channel_key(from, to)];
+}
+
+void Simulator::migrate_flat_to_spill() {
+  // The node count just crossed kFlatChannelLimit (single-shard only:
+  // multi-shard freezes the node count up front).  Carry live FIFO fronts
+  // and channel counters into the spill maps -- dropping them would both
+  // break per-channel FIFO and rewind the delay counters.
+  for (std::size_t f = 0; f < channel_stride_; ++f) {
+    for (std::size_t t = 0; t < channel_stride_; ++t) {
+      const ChannelState& ch = channel_flat_[f * channel_stride_ + t];
+      if (ch.count != 0 || ch.front != SimTime::zero()) {
+        shards_[shard_of(static_cast<NodeId>(f))]
+            .channel_spill[channel_key(static_cast<NodeId>(f),
+                                       static_cast<NodeId>(t))] = ch;
+      }
+    }
+  }
+  channel_flat_ = std::vector<ChannelState>{};
+  channel_stride_ = 0;
+}
+
+SimTime Simulator::channel_delay(NodeId from, NodeId to,
+                                 std::uint64_t count) const {
   const auto span =
       static_cast<std::uint64_t>(delays_.max.micros - delays_.min.micros);
   if (span == 0) return delays_.min;
-  return SimTime::us(delays_.min.micros +
-                     static_cast<std::int64_t>(rng_.below(span + 1)));
+  // hash(seed, channel, index): every draw is addressable, so any thread
+  // computing it gets the same value.  The 128-bit multiply maps the hash
+  // onto [0, span] with bias < 2^-64 (Lemire's method minus the rejection
+  // loop, which determinism cannot afford to re-draw).
+  std::uint64_t h =
+      mix64(seed_ ^ (channel_key(from, to) * 0x9e3779b97f4a7c15ULL));
+  h = mix64(h + count);
+  const auto offset = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(h) * (span + 1)) >> 64);
+  return SimTime::us(delays_.min.micros + static_cast<std::int64_t>(offset));
 }
 
-SimTime& Simulator::channel_front(NodeId from, NodeId to) {
-  if (nodes_.size() > kFlatChannelLimit) {
-    return channel_spill_[channel_key(from, to)];
-  }
-  if (channel_stride_ < nodes_.size()) {
-    // Grow geometrically so repeated add_node/send interleavings stay
-    // O(n^2) total.  Entries are remapped from the old stride.
-    const std::size_t fresh_stride =
-        std::max<std::size_t>(nodes_.size(), channel_stride_ * 2);
-    std::vector<SimTime> fresh(fresh_stride * fresh_stride, SimTime::zero());
-    for (std::size_t f = 0; f < channel_stride_; ++f) {
-      for (std::size_t t = 0; t < channel_stride_; ++t) {
-        fresh[f * fresh_stride + t] = channel_flat_[f * channel_stride_ + t];
-      }
-    }
-    channel_flat_ = std::move(fresh);
-    channel_stride_ = fresh_stride;
-  }
-  return channel_flat_[static_cast<std::size_t>(from) * channel_stride_ + to];
-}
-
-std::uint32_t Simulator::acquire_slot() {
-  if (!free_slots_.empty()) {
-    const std::uint32_t slot = free_slots_.back();
-    free_slots_.pop_back();
-    return slot;
-  }
-  slab_.emplace_back();
-  return static_cast<std::uint32_t>(slab_.size() - 1);
-}
-
-void Simulator::release_slot(std::uint32_t slot) {
-  free_slots_.push_back(slot);
-}
-
-void Simulator::recycle_buffer(Bytes&& buffer) {
-  if (buffer_pool_.size() >= kMaxPooledBuffers) return;
-  buffer.clear();  // keeps capacity
-  buffer_pool_.push_back(std::move(buffer));
+void Simulator::enqueue_message(ShardState& dst, SimTime at, NodeId from,
+                                NodeId to, std::uint64_t seq,
+                                Bytes&& payload) {
+  const std::uint32_t slot = acquire_slot(dst);
+  dst.slab[slot].payload = std::move(payload);
+  dst.queue.insert(EventQueue::Entry{at, from, to, seq, slot});
 }
 
 void Simulator::send(NodeId from, NodeId to, BytesView payload) {
+  if (from >= nodes_.size()) {
+    throw std::out_of_range("Simulator::send: unknown source node");
+  }
   if (to >= nodes_.size()) {
     throw std::out_of_range("Simulator::send: unknown destination node");
   }
-  ++stats_.messages_sent;
-  stats_.bytes_sent += payload.size();
+  if (!partition_frozen_) ensure_partition();
 
-  SimTime deliver_at = now_ + draw_delay();
-  // FIFO per channel: never deliver before an earlier message on the same
-  // channel.  (+1us keeps distinct deliveries strictly ordered.)
-  SimTime& front = channel_front(from, to);
-  if (deliver_at <= front) deliver_at = front + SimTime::us(1);
-  front = deliver_at;
-
-  const std::uint32_t slot = acquire_slot();
-  Event& ev = slab_[slot];
-  ev.kind = EventKind::kMessage;
-  ev.from = from;
-  ev.to = to;
-  if (!buffer_pool_.empty()) {
-    ev.payload = std::move(buffer_pool_.back());
-    buffer_pool_.pop_back();
+  const bool in_dispatch = (g_ctx.sim == this);
+  const std::uint32_t src_shard = in_dispatch ? g_ctx.shard : 0;
+  if (parallel_active_ && in_dispatch && shard_of(from) != src_shard) {
+    throw std::logic_error(
+        "Simulator::send: in a parallel run a handler may only send on "
+        "behalf of nodes of its own shard");
   }
-  ev.payload.assign(payload.begin(), payload.end());
-  queue_.push(QueueEntry{deliver_at, next_seq_++, slot});
+  ShardState& src = shards_[src_shard];
+  ++src.stats.messages_sent;
+  src.stats.bytes_sent += payload.size();
+
+  ChannelState& ch = channel_state(from, to);
+  const SimTime base = in_dispatch ? src.now : now_;
+  SimTime deliver_at = base + channel_delay(from, to, ch.count);
+  // FIFO per channel: never deliver before an earlier message on the same
+  // channel.  (+1us keeps distinct deliveries strictly ordered, which also
+  // makes the canonical key (time, from, to, seq) unique.)
+  if (deliver_at <= ch.front) deliver_at = ch.front + SimTime::us(1);
+  ch.front = deliver_at;
+  const std::uint64_t seq = ch.count++;
+
+  Bytes buf = take_buffer(src);
+  buf.assign(payload.begin(), payload.end());
+
+  const std::uint32_t dst_shard = shard_of(to);
+  if (parallel_active_ && dst_shard != src_shard) {
+    // Park until the window barrier; the destination worker owns its queue.
+    outbox_[static_cast<std::size_t>(src_shard) * shard_count_ + dst_shard]
+        .push_back(CrossMsg{deliver_at, from, to, seq, std::move(buf)});
+  } else {
+    enqueue_message(shards_[dst_shard], deliver_at, from, to, seq,
+                    std::move(buf));
+  }
 }
 
 void Simulator::schedule(SimTime delay, std::function<void()> fn) {
   if (delay.micros < 0) {
     throw std::invalid_argument("Simulator::schedule: negative delay");
   }
-  const std::uint32_t slot = acquire_slot();
-  Event& ev = slab_[slot];
-  ev.kind = EventKind::kCallback;
-  ev.fn = std::move(fn);
-  queue_.push(QueueEntry{now_ + delay, next_seq_++, slot});
+  if (!partition_frozen_) ensure_partition();
+
+  const bool in_dispatch = (g_ctx.sim == this);
+  const std::uint32_t shard_idx = in_dispatch ? g_ctx.shard : 0;
+  const NodeId owner = in_dispatch ? g_ctx.owner : kControlNode;
+  const std::uint64_t seq =
+      (owner == kControlNode) ? control_timer_seq_++ : timer_seq_[owner]++;
+
+  ShardState& sh = shards_[shard_idx];
+  const SimTime at = (in_dispatch ? sh.now : now_) + delay;
+  const std::uint32_t slot = acquire_slot(sh);
+  sh.slab[slot].fn = std::move(fn);
+  sh.queue.insert(EventQueue::Entry{at, owner, kTimerLane, seq, slot});
 }
 
-void Simulator::dispatch(const QueueEntry& entry) {
-  now_ = entry.time;
-  ++stats_.events_processed;
+SimTime Simulator::now() const {
+  if (g_ctx.sim == this) return shards_[g_ctx.shard].now;
+  return now_;
+}
+
+const SimStats& Simulator::stats() const {
+  stats_agg_ = SimStats{};
+  for (const ShardState& sh : shards_) {
+    stats_agg_.messages_sent += sh.stats.messages_sent;
+    stats_agg_.messages_delivered += sh.stats.messages_delivered;
+    stats_agg_.bytes_sent += sh.stats.bytes_sent;
+    stats_agg_.timers_fired += sh.stats.timers_fired;
+    stats_agg_.events_processed += sh.stats.events_processed;
+  }
+  return stats_agg_;
+}
+
+void Simulator::reset_stats() {
+  for (ShardState& sh : shards_) sh.stats = SimStats{};
+}
+
+void Simulator::dispatch_on(std::uint32_t shard_idx,
+                            const EventQueue::Entry& entry) {
+  ShardState& sh = shards_[shard_idx];
+  sh.now = entry.time;
+  ++sh.stats.events_processed;
   // Move everything out of the slot and release it BEFORE invoking the
   // handler: handlers enqueue further events, which may reuse the slot or
   // reallocate the slab.
-  Event& ev = slab_[entry.slot];
-  if (ev.kind == EventKind::kMessage) {
-    const NodeId from = ev.from;
-    const NodeId to = ev.to;
-    Bytes payload = std::move(ev.payload);
-    release_slot(entry.slot);
-    ++stats_.messages_delivered;
-    if (nodes_[to]) nodes_[to](from, payload);
-    recycle_buffer(std::move(payload));
+  if (entry.b != kTimerLane) {
+    Bytes payload = std::move(sh.slab[entry.slot].payload);
+    release_slot(sh, entry.slot);
+    ++sh.stats.messages_delivered;
+    {
+      CtxGuard guard(this, shard_idx, entry.b);
+      if (nodes_[entry.b]) nodes_[entry.b](entry.a, payload);
+    }
+    recycle_buffer(sh, std::move(payload));
   } else {
-    auto fn = std::move(ev.fn);
-    release_slot(entry.slot);
-    ++stats_.timers_fired;
+    auto fn = std::move(sh.slab[entry.slot].fn);
+    release_slot(sh, entry.slot);
+    ++sh.stats.timers_fired;
+    CtxGuard guard(this, shard_idx, entry.a);
     fn();
   }
 }
 
-bool Simulator::step() {
-  if (queue_.empty()) return false;
-  const QueueEntry entry = queue_.top();
-  queue_.pop();
-  dispatch(entry);
+int Simulator::min_shard() {
+  int best = -1;
+  const EventQueue::Entry* best_entry = nullptr;
+  for (std::uint32_t s = 0; s < shard_count_; ++s) {
+    const EventQueue::Entry* e = shards_[s].queue.peek();
+    if (e != nullptr &&
+        (best_entry == nullptr || EventQueue::key_before(*e, *best_entry))) {
+      best = static_cast<int>(s);
+      best_entry = e;
+    }
+  }
+  return best;
+}
+
+bool Simulator::step_sequential() {
+  const int s = min_shard();
+  if (s < 0) return false;
+  auto& sh = shards_[static_cast<std::size_t>(s)];
+  dispatch_on(static_cast<std::uint32_t>(s), sh.queue.pop());
+  if (sh.now > now_) now_ = sh.now;
   return true;
 }
 
-SimTime Simulator::run() {
-  while (!queue_.empty()) {
-    const QueueEntry entry = queue_.top();
-    queue_.pop();
-    dispatch(entry);
+bool Simulator::step() {
+  if (shard_count_ == 1) {
+    ShardState& sh = shards_[0];
+    if (sh.queue.empty()) return false;
+    dispatch_on(0, sh.queue.pop());
+    if (sh.now > now_) now_ = sh.now;
+    return true;
   }
+  return step_sequential();
+}
+
+SimTime Simulator::run() {
+  if (shard_count_ == 1) {
+    ShardState& sh = shards_[0];
+    while (!sh.queue.empty()) dispatch_on(0, sh.queue.pop());
+    if (sh.now > now_) now_ = sh.now;
+    return now_;
+  }
+  run_parallel(SimTime{INT64_MAX});
   return now_;
 }
 
 std::size_t Simulator::run_batch(std::size_t max_events) {
   std::size_t processed = 0;
-  while (processed < max_events && !queue_.empty()) {
-    const QueueEntry entry = queue_.top();
-    queue_.pop();
-    dispatch(entry);
-    ++processed;
+  if (shard_count_ == 1) {
+    ShardState& sh = shards_[0];
+    while (processed < max_events && !sh.queue.empty()) {
+      dispatch_on(0, sh.queue.pop());
+      ++processed;
+    }
+    if (sh.now > now_) now_ = sh.now;
+    return processed;
   }
+  while (processed < max_events && step_sequential()) ++processed;
   return processed;
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
-    const QueueEntry entry = queue_.top();
-    queue_.pop();
-    dispatch(entry);
+  if (shard_count_ == 1) {
+    ShardState& sh = shards_[0];
+    while (!sh.queue.empty() && sh.queue.next_time() <= t) {
+      dispatch_on(0, sh.queue.pop());
+    }
+    if (sh.now > now_) now_ = sh.now;
+  } else {
+    run_parallel(t);
   }
   if (now_ < t) now_ = t;
 }
@@ -178,6 +385,147 @@ bool Simulator::run_while_pending(const std::function<bool()>& pred) {
   while (!pred() && step()) {
   }
   return pred();
+}
+
+bool Simulator::idle() const {
+  for (const ShardState& sh : shards_) {
+    if (!sh.queue.empty()) return false;
+  }
+  return true;
+}
+
+// ---- parallel windowed engine ----------------------------------------------
+
+void Simulator::run_parallel(SimTime limit) {
+  if (!partition_frozen_) ensure_partition();
+  start_pool();
+  job_limit_ = limit.micros;
+  abort_.store(false, std::memory_order_relaxed);
+  win_done_ = false;
+  compute_next_window();
+  if (!win_done_) {
+    {
+      std::lock_guard<std::mutex> lk(pool_mutex_);
+      parallel_active_ = true;
+      ++job_gen_;
+      jobs_done_ = 0;
+    }
+    pool_cv_.notify_all();
+    window_loop(0);  // the caller participates as shard 0
+    {
+      std::unique_lock<std::mutex> lk(pool_mutex_);
+      pool_done_cv_.wait(lk, [&] { return jobs_done_ == shard_count_ - 1; });
+      parallel_active_ = false;
+    }
+  }
+  for (const ShardState& sh : shards_) {
+    if (sh.now > now_) now_ = sh.now;
+  }
+  for (ShardState& sh : shards_) {
+    if (sh.error) {
+      const std::exception_ptr first = sh.error;
+      for (ShardState& other : shards_) other.error = nullptr;
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+void Simulator::start_pool() {
+  if (shard_count_ == 1 || !pool_.empty()) return;
+  outbox_.resize(static_cast<std::size_t>(shard_count_) * shard_count_);
+  window_bar_ = std::make_unique<std::barrier<WindowCompletion>>(
+      shard_count_, WindowCompletion{this});
+  drain_bar_ = std::make_unique<std::barrier<>>(shard_count_);
+  pool_.reserve(shard_count_ - 1);
+  for (std::uint32_t s = 1; s < shard_count_; ++s) {
+    pool_.emplace_back([this, s] { parallel_worker(s); });
+  }
+}
+
+void Simulator::stop_pool() {
+  if (pool_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(pool_mutex_);
+    pool_quit_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& t : pool_) t.join();
+  pool_.clear();
+}
+
+void Simulator::parallel_worker(std::uint32_t shard_idx) {
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(pool_mutex_);
+      pool_cv_.wait(lk, [&] { return pool_quit_ || job_gen_ != seen_gen; });
+      if (pool_quit_) return;
+      seen_gen = job_gen_;
+    }
+    window_loop(shard_idx);
+    {
+      std::lock_guard<std::mutex> lk(pool_mutex_);
+      ++jobs_done_;
+    }
+    pool_done_cv_.notify_one();
+  }
+}
+
+void Simulator::window_loop(std::uint32_t shard_idx) {
+  ShardState& sh = shards_[shard_idx];
+  const std::uint32_t k = shard_count_;
+  for (;;) {
+    // Process phase: everything this shard owns inside [.., win_end_).
+    // Same-shard sends land at >= win_end_ (lookahead), zero/short timers
+    // may land inside the window and are drained too.
+    if (!abort_.load(std::memory_order_relaxed)) {
+      try {
+        while (sh.queue.next_time().micros < win_end_) {
+          dispatch_on(shard_idx, sh.queue.pop());
+          if (abort_.load(std::memory_order_relaxed)) break;
+        }
+      } catch (...) {
+        sh.error = std::current_exception();
+        abort_.store(true, std::memory_order_relaxed);
+      }
+    }
+    // All outbox writes complete before anyone reads them.
+    drain_bar_->arrive_and_wait();
+    for (std::uint32_t src = 0; src < k; ++src) {
+      auto& box = outbox_[static_cast<std::size_t>(src) * k + shard_idx];
+      for (CrossMsg& msg : box) {
+        enqueue_message(sh, msg.time, msg.from, msg.to, msg.seq,
+                        std::move(msg.payload));
+      }
+      box.clear();
+    }
+    // Completion computes the next window from the updated queues.
+    window_bar_->arrive_and_wait();
+    if (win_done_) return;
+  }
+}
+
+void Simulator::compute_next_window() noexcept {
+  // Runs on exactly one thread while every worker is blocked at the window
+  // barrier, so it may touch all shard queues.
+  if (abort_.load(std::memory_order_relaxed)) {
+    win_done_ = true;
+    return;
+  }
+  std::int64_t min_next = INT64_MAX;
+  for (ShardState& sh : shards_) {
+    min_next = std::min(min_next, sh.queue.next_time().micros);
+  }
+  if (min_next == INT64_MAX || min_next > job_limit_) {
+    win_done_ = true;
+    return;
+  }
+  const std::int64_t lookahead = std::max<std::int64_t>(1, delays_.min.micros);
+  std::int64_t end = (min_next > INT64_MAX - lookahead) ? INT64_MAX
+                                                        : min_next + lookahead;
+  if (job_limit_ != INT64_MAX && end > job_limit_) end = job_limit_ + 1;
+  win_end_ = end;
+  win_done_ = false;
 }
 
 }  // namespace cmh::sim

@@ -1,43 +1,74 @@
-// Deterministic discrete-event simulator.
+// Deterministic discrete-event simulator with an optional sharded parallel
+// engine.
 //
 // Hosts a set of nodes that exchange byte-payload messages over reliable,
 // in-order, finite-delay channels -- exactly the communication assumption of
 // the paper ("messages are received correctly and in order", P4/finite
 // delivery).  Per-message delays are drawn from a seeded distribution; FIFO
 // order per (src,dst) channel is enforced by clamping each delivery to be no
-// earlier than the previous delivery on the same channel.
+// earlier than the previous delivery on the same channel.  The simulator also
+// provides timers, which the initiation policies and the workload drivers
+// use, and counters for the benchmark harness.
 //
-// The simulator also provides timers, which the initiation policies and the
-// workload drivers use, and counters for the benchmark harness.
+// Determinism invariant (DESIGN.md section 4c): the event schedule is a pure
+// function of (seed, workload) and is *bit-identical for every shard count*.
+//   * Delays are counter-based: message i on channel (src,dst) always draws
+//     hash(seed, src, dst, i), no matter which thread computes it or in what
+//     global order -- there is no shared RNG stream to race on.
+//   * Events are totally ordered by the canonical key (time, a, b, seq)
+//     where (a,b,seq) = (src, dst, channel-index) for messages and
+//     (owner, kTimerLane, owner-index) for timers.  The key never mentions
+//     shards or threads.
+//
+// Sharded mode (shards > 1): nodes are partitioned into contiguous blocks,
+// one per shard; each shard owns its own event queue, slab, buffer pool and
+// channel state.  Shards advance in conservative time windows of length
+// DelayModel::min (the lookahead): any message sent at time t is delivered at
+// >= t + min, so within a window no shard can affect another, and cross-shard
+// sends are exchanged through per-shard-pair outboxes at the window barrier.
+// Rules for multi-shard runs (all hold trivially when shards == 1):
+//   * add all nodes before enqueuing the first event;
+//   * a handler may only send on behalf of nodes of its own shard (in
+//     practice: from == the node being delivered to / the timer's owner);
+//   * handlers of nodes on different shards run concurrently and must not
+//     share mutable state;
+//   * DelayModel::min must be >= 1us.
 //
 // Hot-path layout (the event loop dominates every experiment bench):
-//   * Events are tagged structs in a slab with a free list -- message
-//     deliveries carry (from, to, payload) directly instead of boxing a
+//   * Per-shard two-level ladder queues (event_queue.h) replace the global
+//     binary heap: O(1) amortized scheduling instead of O(log n), with
+//     bucket-local memory traffic at large event counts.
+//   * Events are tagged slab entries with a free list; message deliveries
+//     carry (src, dst, payload) in the queue entry instead of boxing a
 //     closure in std::function; only explicit timers pay for one.
-//   * Payload buffers are pooled: a delivered message's buffer returns to
-//     the pool with its capacity intact, so steady-state traffic performs
+//   * Payload buffers are pooled per shard, so steady-state traffic performs
 //     zero heap allocations.
-//   * Channel FIFO fronts live in a flat src*stride+dst vector once the
-//     node count is known (hash map only beyond kFlatChannelLimit nodes).
-// Determinism is unchanged: same seed => bit-identical event order and
-// stats (enforced by the golden-trace test).
+//   * Channel FIFO fronts live in a flat src*stride+dst matrix once the node
+//     count is known (per-shard hash maps beyond kFlatChannelLimit nodes;
+//     crossing the limit migrates the matrix into the maps).
 #pragma once
 
+#include <atomic>
+#include <barrier>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
-#include "common/rng.h"
 #include "common/serialize.h"
 #include "common/time.h"
+#include "sim/event_queue.h"
 
 namespace cmh::sim {
 
 using NodeId = std::uint32_t;
 
-/// Distribution of per-message network delays.
+/// Distribution of per-message network delays.  `min` doubles as the
+/// conservative lookahead of the sharded engine.
 struct DelayModel {
   SimTime min{SimTime::us(50)};
   SimTime max{SimTime::us(500)};
@@ -46,7 +77,8 @@ struct DelayModel {
   static DelayModel uniform(SimTime lo, SimTime hi) { return {lo, hi}; }
 };
 
-/// Counters exposed to tests and benchmarks.
+/// Counters exposed to tests and benchmarks.  Aggregated across shards;
+/// totals are shard-count-independent.
 struct SimStats {
   std::uint64_t messages_sent{0};
   std::uint64_t messages_delivered{0};
@@ -60,13 +92,15 @@ class Simulator {
   using MessageHandler =
       std::function<void(NodeId from, const Bytes& payload)>;
 
-  explicit Simulator(std::uint64_t seed = 1,
-                     DelayModel delays = DelayModel{});
+  explicit Simulator(std::uint64_t seed = 1, DelayModel delays = DelayModel{},
+                     std::uint32_t shards = 1);
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  /// Registers a node; returns its id (dense, starting at 0).
+  /// Registers a node; returns its id (dense, starting at 0).  In multi-shard
+  /// mode all nodes must be added before the first send/schedule.
   NodeId add_node(MessageHandler handler);
 
   /// Replaces the handler of an existing node (used by harnesses that
@@ -75,91 +109,182 @@ class Simulator {
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
-  /// Enqueues a message for in-order delivery after a random delay.  The
-  /// payload is copied into a pooled buffer; the view need only be valid
-  /// for the duration of the call.
+  [[nodiscard]] std::uint32_t shard_count() const { return shard_count_; }
+
+  /// Shard owning `node` (contiguous-block partition, frozen at the first
+  /// event in multi-shard mode).  Placement-aware workloads use this to keep
+  /// tightly-coupled node groups on one shard.
+  [[nodiscard]] std::uint32_t shard_of(NodeId node) const {
+    return shard_count_ == 1 ? 0u
+                             : static_cast<std::uint32_t>(node / shard_block_);
+  }
+
+  /// Enqueues a message for in-order delivery after a seeded random delay.
+  /// The payload is copied into a pooled buffer; the view need only be valid
+  /// for the duration of the call.  Both endpoints must be registered nodes.
   void send(NodeId from, NodeId to, BytesView payload);
 
-  /// Schedules `fn` to run at now() + delay.
+  /// Schedules `fn` to run at now() + delay.  The timer is owned by the node
+  /// whose event is currently dispatching (or by the control context outside
+  /// dispatch) and fires on that owner's shard.
   void schedule(SimTime delay, std::function<void()> fn);
 
-  [[nodiscard]] SimTime now() const { return now_; }
-  [[nodiscard]] const SimStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = SimStats{}; }
+  /// Current virtual time: the dispatching event's time inside a handler
+  /// (shard-local in parallel runs), the last completed time outside.
+  [[nodiscard]] SimTime now() const;
 
-  /// Processes the single earliest pending event.  Returns false if idle.
+  [[nodiscard]] const SimStats& stats() const;
+  void reset_stats();
+
+  /// Processes the single earliest pending event in canonical key order.
+  /// Returns false if idle.  (Sequential for any shard count.)
   bool step();
 
-  /// Runs until no events remain.  Returns the final virtual time.
+  /// Runs until no events remain.  Returns the final virtual time.  With
+  /// shards > 1 this is the parallel windowed engine.
   SimTime run();
 
   /// Batched-delivery mode: processes up to `max_events` events without
   /// per-event caller round-trips; returns the number processed (less than
   /// `max_events` iff the queue drained).  Event order is identical to
-  /// step()-ing in a loop -- this is a throughput interface, not a
-  /// different schedule.
+  /// step()-ing in a loop -- this is a throughput interface, not a different
+  /// schedule (and therefore sequential; use run()/run_until() for parallel
+  /// throughput).
   std::size_t run_batch(std::size_t max_events);
 
-  /// Runs until the given virtual time (inclusive) or until idle.
+  /// Runs until the given virtual time (inclusive) or until idle.  With
+  /// shards > 1 this is the parallel windowed engine.
   void run_until(SimTime t);
 
   /// Runs until `pred()` holds or the event queue drains; returns pred().
+  /// Sequential for any shard count (the predicate is checked between
+  /// events).
   bool run_while_pending(const std::function<bool()>& pred);
 
-  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] bool idle() const;
 
  private:
-  enum class EventKind : std::uint8_t { kMessage, kCallback };
+  // Timer events use this lane in the canonical key; no node can own it.
+  static constexpr std::uint32_t kTimerLane = 0xFFFFFFFFu;
+  // Owner id for timers scheduled outside any dispatch (tests, harness
+  // setup); their events run on shard 0.
+  static constexpr NodeId kControlNode = 0xFFFFFFFFu;
 
-  // Slab entry.  Message events use (from, to, payload); callback events
-  // use fn.  Both payload buffer and slot are recycled.
+  // Above this node count the flat channel matrix would be too large; fall
+  // back to per-shard hash maps (1024^2 entries == 16 MiB).
+  static constexpr std::size_t kFlatChannelLimit = 1024;
+
+  // Slab entry.  Message events use payload; timer events use fn.  Both the
+  // payload buffer and the slot are recycled.
   struct Event {
-    EventKind kind{EventKind::kMessage};
-    NodeId from{0};
-    NodeId to{0};
     Bytes payload;
     std::function<void()> fn;
   };
 
-  // Heap entry: 24 bytes, trivially copyable.
-  struct QueueEntry {
+  // Per-channel FIFO + determinism state: last scheduled delivery time and
+  // the number of messages sent so far (the counter the delay draw hashes).
+  struct ChannelState {
+    SimTime front{SimTime::zero()};
+    std::uint64_t count{0};
+  };
+
+  // A message crossing shards, parked in a per-(src,dst)-shard outbox until
+  // the window barrier.
+  struct CrossMsg {
     SimTime time;
-    std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    std::uint32_t slot;
-  };
-  struct EventLater {
-    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
-      if (a.time != b.time) return b.time < a.time;
-      return b.seq < a.seq;
-    }
+    NodeId from{0};
+    NodeId to{0};
+    std::uint64_t seq{0};
+    Bytes payload;
   };
 
-  // Above this node count the flat channel matrix would be too large;
-  // fall back to the hash map (1024^2 entries == 8 MiB).
-  static constexpr std::size_t kFlatChannelLimit = 1024;
+  // Everything a shard touches while processing a window.  Padded so two
+  // shards' hot state never shares a cache line.
+  struct alignas(64) ShardState {
+    EventQueue queue;
+    std::vector<Event> slab;
+    std::vector<std::uint32_t> free_slots;
+    std::vector<Bytes> buffer_pool;
+    std::unordered_map<std::uint64_t, ChannelState> channel_spill;
+    SimTime now{SimTime::zero()};
+    SimStats stats;
+    std::exception_ptr error;
 
-  std::uint32_t acquire_slot();
-  void release_slot(std::uint32_t slot);
-  void recycle_buffer(Bytes&& buffer);
-  void dispatch(const QueueEntry& entry);
-  SimTime& channel_front(NodeId from, NodeId to);
-  SimTime draw_delay();
+    explicit ShardState(std::int64_t width_hint) : queue(width_hint) {}
+  };
+
+  struct WindowCompletion {
+    Simulator* sim;
+    void operator()() const noexcept { sim->compute_next_window(); }
+  };
+
+  std::uint32_t acquire_slot(ShardState& shard);
+  void release_slot(ShardState& shard, std::uint32_t slot);
+  Bytes take_buffer(ShardState& shard);
+  void recycle_buffer(ShardState& shard, Bytes&& buffer);
+
+  ChannelState& channel_state(NodeId from, NodeId to);
+  void migrate_flat_to_spill();
+  [[nodiscard]] SimTime channel_delay(NodeId from, NodeId to,
+                                      std::uint64_t count) const;
+
+  void ensure_partition();
+  void enqueue_message(ShardState& dst, SimTime at, NodeId from, NodeId to,
+                       std::uint64_t seq, Bytes&& payload);
+  void dispatch_on(std::uint32_t shard_idx, const EventQueue::Entry& entry);
+
+  // Sequential engine: canonical-order merge across shard queues.
+  [[nodiscard]] int min_shard();
+  bool step_sequential();
+
+  // Parallel windowed engine.
+  void run_parallel(SimTime limit);
+  void start_pool();
+  void stop_pool();
+  void parallel_worker(std::uint32_t shard_idx);
+  void window_loop(std::uint32_t shard_idx);
+  void compute_next_window() noexcept;
+
+  std::uint64_t seed_;
+  DelayModel delays_;
+  std::uint32_t shard_count_;
+  std::size_t shard_block_{1};
+  bool partition_frozen_{false};
 
   SimTime now_{SimTime::zero()};
-  std::uint64_t next_seq_{0};
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, EventLater> queue_;
-  std::vector<Event> slab_;
-  std::vector<std::uint32_t> free_slots_;
-  std::vector<Bytes> buffer_pool_;
   std::vector<MessageHandler> nodes_;
-  // Last scheduled delivery time per (src,dst), for FIFO enforcement.
-  // Flat matrix while node count <= kFlatChannelLimit, hash map beyond.
-  std::vector<SimTime> channel_flat_;
+  std::vector<ShardState> shards_;
+
+  // Per-owner timer counters (canonical key seq for the timer lane).
+  std::vector<std::uint64_t> timer_seq_;
+  std::uint64_t control_timer_seq_{0};
+
+  // Channel FIFO/counter state: flat matrix while node count fits, per-shard
+  // spill maps beyond (see channel_state()).
+  std::vector<ChannelState> channel_flat_;
   std::size_t channel_stride_{0};
-  std::unordered_map<std::uint64_t, SimTime> channel_spill_;
-  Rng rng_;
-  DelayModel delays_;
-  SimStats stats_;
+
+  // ---- parallel runtime ----------------------------------------------------
+  // Outboxes, indexed src_shard * K + dst_shard.  A cell is written only by
+  // the src worker during the processing phase and drained only by the dst
+  // worker after the barrier, so the barrier provides all synchronization.
+  std::vector<std::vector<CrossMsg>> outbox_;
+  bool parallel_active_{false};
+  std::int64_t job_limit_{INT64_MAX};
+  std::int64_t win_end_{0};
+  bool win_done_{false};
+  std::atomic<bool> abort_{false};
+  std::unique_ptr<std::barrier<WindowCompletion>> window_bar_;
+  std::unique_ptr<std::barrier<>> drain_bar_;
+  std::vector<std::thread> pool_;
+  std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;
+  std::condition_variable pool_done_cv_;
+  std::uint64_t job_gen_{0};
+  std::uint32_t jobs_done_{0};
+  bool pool_quit_{false};
+
+  mutable SimStats stats_agg_;
 };
 
 }  // namespace cmh::sim

@@ -48,6 +48,33 @@ TEST(MakeRing, AllEdgesBlackAfterReplay) {
   EXPECT_EQ(g.edges(EdgeColor::kBlack).size(), 5u);
 }
 
+// ---- make_disjoint_rings --------------------------------------------------------
+
+TEST(MakeDisjointRings, RejectsDegenerateParams) {
+  EXPECT_THROW(make_disjoint_rings(8, 1), std::invalid_argument);
+  EXPECT_THROW(make_disjoint_rings(4, 5), std::invalid_argument);
+}
+
+TEST(MakeDisjointRings, EveryBlockIsAnIndependentDarkCycle) {
+  const Scenario s = make_disjoint_rings(22, 4);  // 5 rings + 2 idle ids
+  const WaitForGraph g = replay(s, s.script.size());
+  EXPECT_EQ(s.planted_cycle.size(), 5u);
+  EXPECT_EQ(g.edges(EdgeColor::kBlack).size(), 20u);
+  EXPECT_EQ(g.deadlocked_vertices().size(), 20u);
+  for (std::uint32_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(s.planted_cycle[j], ProcessId{j * 4});
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      EXPECT_TRUE(g.on_dark_cycle(ProcessId{j * 4 + i}));
+      // Edges stay inside the block: contiguous blocks are what keep the
+      // rings shard-local on the parallel simulation engine.
+      EXPECT_TRUE(g.has_edge(ProcessId{j * 4 + i},
+                             ProcessId{j * 4 + (i + 1) % 4}));
+    }
+  }
+  EXPECT_FALSE(g.on_dark_cycle(ProcessId{20}));
+  EXPECT_FALSE(g.on_dark_cycle(ProcessId{21}));
+}
+
 // ---- make_ring_with_tails -------------------------------------------------------
 
 struct TailsParam {

@@ -3,9 +3,17 @@
 // plus timer-spawned extra traffic) drives >1300 events through every
 // simulator mechanism -- channel-FIFO clamping, equal-timestamp tie-breaks,
 // timer interleaving, payload recycling -- and folds the full delivery order
-// into one FNV-1a hash.  The expected constants were captured from the
-// pre-overhaul std::function/unordered_map implementation, so they also
-// prove the pooled-slab rewrite changed no observable schedule.
+// into one FNV-1a hash.
+//
+// Re-pinned for the sharded engine (DESIGN.md section 4c): delay draws moved
+// from a global RNG stream to counter-based per-channel hashes, and the
+// equal-timestamp tie-break moved from global scheduling order to the
+// canonical key (time, src, dst, channel-seq) -- both deliberate schedule
+// changes, required so the trace is a pure function of (seed, workload)
+// independent of the shard count.  The event/delivery/timer *counts* are
+// unchanged from the sequential engine (the TTL cascade is delay-agnostic),
+// which is itself a useful cross-check.  tests/sim/test_sharded.cpp pins the
+// same scenario across K in {1,2,4,8}.
 #include "sim/simulator.h"
 
 #include <gtest/gtest.h>
@@ -69,7 +77,7 @@ TEST(GoldenTrace, SeededScheduleIsBitIdentical) {
   EXPECT_EQ(r.events, 1320u);
   EXPECT_EQ(r.delivered, 1092u);
   EXPECT_EQ(r.timers, 228u);
-  EXPECT_EQ(r.hash, 0xb82b130736800c4aULL);
+  EXPECT_EQ(r.hash, 0x4d94b3dc4e8f13c5ULL);
 }
 
 TEST(GoldenTrace, RepeatedRunsAgree) {
@@ -125,7 +133,7 @@ TEST(GoldenTrace, RunBatchMatchesStepLoop) {
   mix(s.timers_fired);
   mix(s.events_processed);
   EXPECT_EQ(processed, 1320u);
-  EXPECT_EQ(h, 0xb82b130736800c4aULL);
+  EXPECT_EQ(h, 0x4d94b3dc4e8f13c5ULL);
 }
 
 }  // namespace
