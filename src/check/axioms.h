@@ -1,0 +1,106 @@
+// Vocabulary of the correctness-tooling subsystem: the paper's invariants as
+// named, reportable facts.
+//
+// The paper states its guarantees as axioms over the colored wait-for graph
+// (G1-G4), over what processes may know and send (P1-P4), and as end-to-end
+// properties of the probe computation (QRP1/QRP2).  Everything in src/check
+// reports violations in this vocabulary so a CI failure names the exact
+// axiom that broke, not just "assertion failed".
+//
+// Operational readings used by the auditor (see invariant_auditor.h for the
+// derivation):
+//   G1  edge created grey by a request send; must not already exist
+//   G2  edge blackens when the request is delivered; must be grey
+//   G3  edge whitens when the reply is sent; must be black and the replier
+//       must be active (no outgoing edges)
+//   G4  edge removed when the reply is delivered; must be white
+//   P1  detection traffic (probes, WFGD sets) never changes the wait-for
+//       graph and travels only along edges the sender actually has
+//   P2  per-channel FIFO: messages are delivered in the order sent
+//   P3  a process's local knowledge equals the projection of the global
+//       graph it is allowed to see (its outgoing edges, its incoming black
+//       edges) -- nothing more, nothing less
+//   P4  every message sent is eventually delivered (checked at quiescence)
+//   QRP1  no missed deadlock: at quiescence, every dark cycle contains at
+//         least one vertex that declared
+//   QRP2  no false deadlock: a vertex declares only while it lies on a dark
+//         cycle
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace cmh::check {
+
+enum class Axiom : std::uint8_t {
+  kG1,
+  kG2,
+  kG3,
+  kG4,
+  kP1,
+  kP2,
+  kP3,
+  kP4,
+  kQRP1,
+  kQRP2,
+};
+
+[[nodiscard]] constexpr const char* to_string(Axiom a) {
+  switch (a) {
+    case Axiom::kG1: return "G1";
+    case Axiom::kG2: return "G2";
+    case Axiom::kG3: return "G3";
+    case Axiom::kG4: return "G4";
+    case Axiom::kP1: return "P1";
+    case Axiom::kP2: return "P2";
+    case Axiom::kP3: return "P3";
+    case Axiom::kP4: return "P4";
+    case Axiom::kQRP1: return "QRP1";
+    case Axiom::kQRP2: return "QRP2";
+  }
+  return "?";
+}
+
+/// One detected invariant violation.  Structured (not a bare assert) so CI
+/// logs carry everything needed to reproduce: which axiom, at which observed
+/// event, on which channel, at what virtual time.
+struct Violation {
+  Axiom axiom{Axiom::kG1};
+  /// Index of the observed event (send/deliver/declare, in observation
+  /// order) at which the violation was detected; equal to the auditor's
+  /// events_observed() at detection time.  End-of-run checks (P4, QRP1)
+  /// report the final count.
+  std::uint64_t event_seq{0};
+  /// Channel (sender, receiver) of the offending message; for vertex-level
+  /// findings (P3, QRP1, QRP2) both endpoints name the vertex.
+  ProcessId from{};
+  ProcessId to{};
+  SimTime at{SimTime::zero()};
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Formats violations one per line (empty string when the list is empty).
+[[nodiscard]] std::string format_report(const std::vector<Violation>& vs);
+
+/// Thrown by abort-on-violation mode.  Carries the structured violation so
+/// harnesses can still classify the failure programmatically.
+class InvariantViolationError : public std::logic_error {
+ public:
+  explicit InvariantViolationError(Violation v)
+      : std::logic_error(v.to_string()), violation_(std::move(v)) {}
+
+  [[nodiscard]] const Violation& violation() const { return violation_; }
+
+ private:
+  Violation violation_;
+};
+
+}  // namespace cmh::check

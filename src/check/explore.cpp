@@ -1,0 +1,128 @@
+#include "check/explore.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace cmh::check {
+
+namespace {
+
+// Sleep sets are small sorted vectors of Transition::key() values.
+using SleepSet = std::vector<std::uint64_t>;
+
+[[nodiscard]] bool contains(const SleepSet& s, std::uint64_t key) {
+  return std::binary_search(s.begin(), s.end(), key);
+}
+
+[[nodiscard]] bool subset(const SleepSet& a, const SleepSet& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+void insert_sorted(SleepSet& s, std::uint64_t key) {
+  const auto it = std::lower_bound(s.begin(), s.end(), key);
+  if (it == s.end() || *it != key) s.insert(it, key);
+}
+
+[[nodiscard]] std::uint32_t agent_of(std::uint64_t key) {
+  const auto kind = static_cast<Transition::Kind>(key >> 62);
+  const auto a = static_cast<std::uint32_t>((key >> 31) & 0x7FFFFFFFu);
+  const auto b = static_cast<std::uint32_t>(key & 0x7FFFFFFFu);
+  return kind == Transition::Kind::kDeliver ? b : a;
+}
+
+struct Dfs {
+  System& sys;
+  ExploreConfig cfg;
+  ExploreResult res;
+  std::vector<Transition> path;
+  // describe() is only meaningful in a transition's pre-state (a script
+  // step's label is the op about to run), so labels are recorded at
+  // execution time, not reconstructed post-mortem.
+  std::vector<std::string> path_desc;
+  // fingerprint -> sleep sets it was explored with.  A revisit is pruned
+  // only if some stored sleep set is a subset of the current one (the
+  // stored visit explored at least as many transitions as we would).
+  std::unordered_map<std::uint64_t, std::vector<SleepSet>> visited;
+
+  void replay() {
+    sys.reset();
+    for (const Transition& t : path) sys.execute(t);
+  }
+
+  void fail_now() {
+    res.violation = sys.violations().front();
+    res.trace = path_desc;
+  }
+
+  // Explores the current state; returns true to abort the whole search
+  // (first violation found).
+  bool visit(SleepSet sleep) {
+    if (!sys.violations().empty()) {
+      fail_now();
+      return true;
+    }
+    auto& stored = visited[sys.fingerprint()];
+    for (const SleepSet& s : stored) {
+      if (subset(s, sleep)) return false;
+    }
+    if (res.states_visited >= cfg.max_states) {
+      res.complete = false;
+      return false;
+    }
+    stored.push_back(sleep);
+    ++res.states_visited;
+
+    const std::vector<Transition> ts = sys.enabled();
+    if (ts.empty()) {
+      sys.check_final();
+      if (!sys.violations().empty()) {
+        fail_now();
+        return true;
+      }
+      return false;
+    }
+    if (path.size() >= cfg.max_depth) {
+      res.complete = false;
+      return false;
+    }
+
+    // `asleep` accumulates: the inherited sleep set plus every sibling
+    // already fully explored from this state.
+    SleepSet asleep = std::move(sleep);
+    for (const Transition& t : ts) {
+      if (cfg.sleep_sets && contains(asleep, t.key())) {
+        ++res.sleep_pruned;
+        continue;
+      }
+      SleepSet child;
+      if (cfg.sleep_sets) {
+        // Dependent (same-agent) transitions wake up in the child.
+        for (const std::uint64_t key : asleep) {
+          if (agent_of(key) != t.agent()) child.push_back(key);
+        }
+      }
+      path.push_back(t);
+      path_desc.push_back(sys.describe(t));
+      sys.execute(t);
+      ++res.transitions_executed;
+      if (visit(std::move(child))) return true;
+      path.pop_back();
+      path_desc.pop_back();
+      replay();
+      if (cfg.sleep_sets) insert_sorted(asleep, t.key());
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+ExploreResult explore(System& system, ExploreConfig config) {
+  Dfs dfs{system, config, {}, {}, {}, {}};
+  system.reset();
+  dfs.visit({});
+  return std::move(dfs.res);
+}
+
+}  // namespace cmh::check

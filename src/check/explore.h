@@ -1,0 +1,119 @@
+// Exhaustive interleaving checker -- a DFS model checker over delivery and
+// script orders of small configurations.
+//
+// The single golden trace a simulator run produces cannot exercise the
+// grey/white race windows the paper reasons about; this explorer can.  A
+// System exposes its enabled transitions (message deliveries, workload script
+// steps), executes them on demand and fingerprints its state; the explorer
+// enumerates every reachable schedule depth-first, using
+//   * replay-based backtracking (reset + re-execute the path prefix; no
+//     state snapshots, so systems only need reset() + execute()),
+//   * 64-bit state fingerprints to cut revisits, and
+//   * sleep-set partial-order reduction (Godefroid) to skip schedules that
+//     only permute independent transitions.
+//
+// Soundness notes (the argument DESIGN.md section 7.1 spells out):
+//   * Two transitions are independent iff they execute on different agents:
+//     a delivery mutates only the receiver's state, the consumed channel's
+//     head and tails of the receiver's out-channels; a script step mutates
+//     only its process and that process's out-channel tails.  FIFO head
+//     consumption and tail appends commute, so differently-agented
+//     transitions commute and cannot enable/disable one another's agent.
+//   * Sleep sets never remove *states* from the exploration, only redundant
+//     in-edges; every reachable state is still visited, so per-state
+//     invariants (the auditor runs inside execute()) lose nothing.  A
+//     fingerprint-cached state is re-explored unless a strictly weaker
+//     (subset) sleep set already covered it.
+//   * Fingerprints are hash-compacted (64-bit): a collision could silently
+//     merge two distinct states.  With <= 2^20 states per scenario the
+//     collision odds are ~2^-24 per run -- acceptable for a test oracle and
+//     the standard trade of stateful exploration.
+// Termination: scenarios have finite scripts, probes are forwarded at most
+// once per computation per edge, and WFGD sets grow monotonically with a
+// never-send-twice gate, so the reachable state space is finite.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/axioms.h"
+
+namespace cmh::check {
+
+/// One schedulable step.  `a`/`b` identify the step within the current
+/// state: deliveries name the (src, dst) channel (always its FIFO head);
+/// script steps name the acting process in `a` (b == a).
+struct Transition {
+  enum class Kind : std::uint8_t { kDeliver, kScript };
+
+  Kind kind{Kind::kDeliver};
+  std::uint32_t a{0};
+  std::uint32_t b{0};
+
+  /// The one agent whose local state this transition mutates -- the receiver
+  /// for deliveries, the acting process for script steps.  Transitions with
+  /// different agents are independent (see header comment).
+  [[nodiscard]] std::uint32_t agent() const {
+    return kind == Kind::kDeliver ? b : a;
+  }
+
+  /// Dense encoding used for sleep sets and trace storage.
+  [[nodiscard]] std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(kind) << 62) |
+           (static_cast<std::uint64_t>(a) << 31) | b;
+  }
+
+  friend constexpr auto operator<=>(const Transition&,
+                                    const Transition&) = default;
+};
+
+/// What the explorer drives.  Implementations must make reset() restore the
+/// exact initial state (including any embedded auditor) and must report
+/// enabled() in a deterministic order.
+class System {
+ public:
+  virtual ~System() = default;
+
+  virtual void reset() = 0;
+  [[nodiscard]] virtual std::vector<Transition> enabled() = 0;
+  virtual void execute(const Transition& t) = 0;
+  /// Fingerprint of the current global state (see hash-compaction caveat).
+  [[nodiscard]] virtual std::uint64_t fingerprint() = 0;
+  /// Quiescence oracles (P4, QRP1); called at every deadlocked-or-done leaf.
+  virtual void check_final() = 0;
+  /// Violations recorded so far on the current path (accumulate mode).
+  [[nodiscard]] virtual const std::vector<Violation>& violations() const = 0;
+  [[nodiscard]] virtual std::string describe(const Transition& t) const = 0;
+};
+
+struct ExploreConfig {
+  /// Abandon (incomplete, not failed) beyond this many distinct states.
+  std::uint64_t max_states{1u << 20};
+  /// Hard cap on path length; hitting it marks the result incomplete.
+  std::size_t max_depth{4096};
+  /// Disable sleep-set pruning (debugging aid: full interleaving product).
+  bool sleep_sets{true};
+};
+
+struct ExploreResult {
+  std::uint64_t states_visited{0};
+  std::uint64_t transitions_executed{0};
+  std::uint64_t sleep_pruned{0};
+  /// First violation found, if any; exploration stops at it.
+  std::optional<Violation> violation;
+  /// Human-readable schedule reaching the violation (one step per line).
+  std::vector<std::string> trace;
+  /// True iff the full (pruned) state space was explored without caps.
+  bool complete{true};
+
+  [[nodiscard]] bool ok() const { return !violation.has_value(); }
+};
+
+/// Runs the DFS.  The system is left in the last-explored state; callers
+/// that want it pristine should reset() afterwards.
+[[nodiscard]] ExploreResult explore(System& system, ExploreConfig config = {});
+
+}  // namespace cmh::check

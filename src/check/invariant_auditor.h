@@ -1,0 +1,131 @@
+// InvariantAuditor -- an always-on runtime monitor for the paper's axioms.
+//
+// The auditor is fed the raw message traffic of a run (every send and every
+// delivery, at the instant it happens) and *re-derives* the colored wait-for
+// graph from that history alone:
+//   request sent       -> create grey edge   (G1)
+//   request delivered  -> blacken            (G2)
+//   reply sent         -> whiten             (G3)
+//   reply delivered    -> remove             (G4)
+// Any transition the shadow graph rejects is a violation of the matching
+// graph axiom.  Because the derivation is independent of both the algorithm
+// state and SimCluster's own oracle, it catches regressions in either: a
+// protocol bug and an oracle bug disagree with the message history in the
+// same observable way.
+//
+// On top of the graph axioms the auditor checks the process axioms:
+//   P1  probes/WFGD messages travel only along edges the sender has (and by
+//       construction never mutate the shadow graph),
+//   P2  per-channel FIFO delivery (each delivered frame must be the oldest
+//       undelivered frame on its channel, byte-for-byte),
+//   P3  optional projection check: a process's local view (waits_for /
+//       held_requests) equals the shadow graph's projection after every
+//       delivery it handles,
+//   P4  at quiescence no channel still holds sent-but-undelivered frames,
+// and the probe-computation properties:
+//   QRP2  at every declaration instant the declaring vertex lies on a dark
+//         cycle of the shadow graph,
+//   QRP1  at quiescence there is no dark cycle consisting solely of vertices
+//         that never declared (only meaningful when the initiation policy
+//         guarantees a computation per edge creation, i.e. anything but
+//         kManual -- gate with AuditorConfig::check_qrp1).
+//
+// The auditor is transport-agnostic: SimCluster attaches it through the
+// simulator's SimObserver hook, and the exhaustive interleaving checker
+// (explore.h) feeds it directly.  It is a debug/verification tool -- the
+// bookkeeping copies every in-flight frame -- so Release builds leave it off
+// unless SimClusterConfig::audit asks for it.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "check/axioms.h"
+#include "common/serialize.h"
+#include "graph/wait_for_graph.h"
+
+namespace cmh::core {
+class BasicProcess;
+}
+
+namespace cmh::check {
+
+struct AuditorConfig {
+  /// Throw InvariantViolationError at the first violation (actionable for
+  /// interactive runs); false accumulates into violations()/report(), which
+  /// is what the exhaustive checker and CI log collection want.
+  bool abort_on_violation{true};
+  /// Enable the end-of-run QRP1 (no missed dark cycle) oracle.  Only sound
+  /// when every edge creation initiates a probe computation; harnesses
+  /// running InitiationMode::kManual must turn it off.
+  bool check_qrp1{true};
+};
+
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(AuditorConfig config = {});
+
+  // ---- event feed (call at the true instants of the run) ------------------
+
+  /// A frame was handed to the transport.  Applies G1/G3 transitions and the
+  /// P1 edge-existence check; records the frame for FIFO/P4 tracking.
+  void on_send(ProcessId from, ProcessId to, BytesView payload, SimTime at);
+
+  /// A frame was handed to the receiver.  Applies G2/G4 transitions and the
+  /// P2 FIFO check.  Call *before* the receiving process handles the frame,
+  /// so the shadow graph transitions at the same instant the model says the
+  /// edge changes color.
+  void on_deliver(ProcessId from, ProcessId to, BytesView payload, SimTime at);
+
+  /// P3 projection: call after `process` finished handling a delivery (its
+  /// local view must equal the shadow graph's projection between events).
+  void check_local_view(const core::BasicProcess& process, SimTime at);
+
+  /// A vertex declared "I am deadlocked" (step A1).  Applies the QRP2 check
+  /// at this exact instant.
+  void on_declare(ProcessId who, SimTime at);
+
+  /// End-of-run checks: P4 (no lost frames) and, if configured, QRP1.
+  /// Call when the run is quiescent (transport drained).
+  void finalize(SimTime at);
+
+  // ---- results ------------------------------------------------------------
+
+  [[nodiscard]] const graph::WaitForGraph& derived() const { return wfg_; }
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::string report() const {
+    return format_report(violations_);
+  }
+  /// Observed events so far (sends + deliveries + declarations); the
+  /// event_seq of Violation indexes this stream.
+  [[nodiscard]] std::uint64_t events_observed() const { return event_seq_; }
+  [[nodiscard]] const std::set<ProcessId>& declared() const {
+    return declared_;
+  }
+
+ private:
+  struct Channel {
+    /// Sent-but-undelivered frames, oldest first (byte copies: the P2 check
+    /// compares the delivered frame against the recorded head).
+    std::deque<Bytes> in_flight;
+    std::uint64_t sent{0};
+    std::uint64_t delivered{0};
+  };
+
+  void record(Axiom axiom, ProcessId from, ProcessId to, SimTime at,
+              std::string detail);
+
+  AuditorConfig config_;
+  graph::WaitForGraph wfg_;
+  std::map<std::pair<ProcessId, ProcessId>, Channel> channels_;
+  std::set<ProcessId> declared_;
+  std::vector<Violation> violations_;
+  std::uint64_t event_seq_{0};
+};
+
+}  // namespace cmh::check

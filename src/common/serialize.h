@@ -9,6 +9,7 @@
 //                      steady-state encoders reuse one allocation.
 //   * StackWriter   -- fixed-capacity stack buffer for the small fixed-size
 //                      frames (probes, requests, replies); zero heap use.
+// cmh:hot-path -- steady-state detection path; lint enforces zero-alloc.
 #pragma once
 
 #include <array>
@@ -110,7 +111,10 @@ class Writer {
       throw std::length_error("Writer::str: string exceeds u32 length prefix");
     }
     u32(static_cast<std::uint32_t>(s.size()));
-    append(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+    // Byte-for-byte copy via the iterator-range overload: char -> uint8_t is
+    // a value conversion (mod 256), identical to the old pointer-aliasing
+    // reinterpret_cast and it keeps this header cast-free.
+    out_->insert(out_->end(), s.begin(), s.end());
   }
 
   template <typename Tag, typename Rep>
@@ -225,7 +229,9 @@ class Reader {
       return Status{StatusCode::kInvalidArgument,
                     "str length exceeds remaining bytes"};
     }
-    s.assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    // Iterator-range assign: uint8_t -> char value conversion round-trips
+    // with Writer::str exactly; no pointer-type punning needed.
+    s.assign(data_ + pos_, data_ + pos_ + n);
     pos_ += n;
     return Status::Ok();
   }

@@ -202,4 +202,47 @@ void BasicProcess::propagate_wfgd() {
   }
 }
 
+void BasicProcess::mix_state_hash(std::uint64_t& h) const {
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(id_.value());
+  for (const ProcessId p : out_edges_) mix(p.value());
+  mix(0xE1);  // domain separators between variable-length runs
+  for (const ProcessId p : in_black_) mix(p.value());
+  mix(0xE2);
+  mix(next_sequence_);
+  mix(static_cast<std::uint64_t>(declared_) << 1 |
+      static_cast<std::uint64_t>(deadlocked_));
+
+  std::vector<std::pair<ProcessId, ComputationState>> comps(
+      computations_.begin(), computations_.end());
+  std::sort(comps.begin(), comps.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [who, st] : comps) {
+    mix(who.value());
+    mix(st.sequence);
+    mix(static_cast<std::uint64_t>(st.engaged));
+  }
+  mix(0xE3);
+  for (const graph::Edge& e : wfgd_edges_) {
+    mix(e.from.value());
+    mix(e.to.value());
+  }
+  mix(0xE4);
+  std::vector<const decltype(wfgd_sent_)::value_type*> sent;
+  sent.reserve(wfgd_sent_.size());
+  for (const auto& entry : wfgd_sent_) sent.push_back(&entry);
+  std::sort(sent.begin(), sent.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* entry : sent) {
+    mix(entry->first.value());
+    for (const graph::Edge& e : entry->second) {
+      mix(e.from.value());
+      mix(e.to.value());
+    }
+    mix(0xE5);
+  }
+}
+
 }  // namespace cmh::core

@@ -129,6 +129,13 @@ class BasicProcess {
   [[nodiscard]] const ProcessStats& stats() const { return stats_; }
   [[nodiscard]] const Options& options() const { return options_; }
 
+  /// Folds the protocol-relevant state into `h` (order-insensitive for the
+  /// unordered containers: iteration is sorted first).  Used by the
+  /// exhaustive interleaving checker (src/check) to fingerprint global
+  /// states; excludes stats and the delayed-initiation epochs, which do not
+  /// affect future behavior under timer-free exploration.
+  void mix_state_hash(std::uint64_t& h) const;
+
  private:
   struct ComputationState {
     std::uint64_t sequence{0};

@@ -470,4 +470,91 @@ void Controller::schedule_block_check(TransactionId txn) {
   }
 }
 
+void Controller::mix_state_hash(std::uint64_t& h) const {
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  const auto mix_agent = [&](const AgentId& a) {
+    mix(a.transaction.value());
+    mix(a.site.value());
+  };
+  mix(id_.value());
+  locks_.mix_state_hash(h);
+  mix(0xC1);  // separators between variable-length sections
+
+  std::vector<TransactionId> aborted(aborted_txns_.begin(),
+                                     aborted_txns_.end());
+  std::sort(aborted.begin(), aborted.end());
+  for (const TransactionId t : aborted) mix(t.value());
+  mix(0xC2);
+
+  std::vector<TransactionId> txns;
+  for (const auto& [txn, sites] : pending_remote_) {
+    if (!sites.empty()) txns.push_back(txn);
+  }
+  std::sort(txns.begin(), txns.end());
+  for (const TransactionId t : txns) {
+    mix(t.value());
+    std::vector<std::pair<SiteId, std::uint32_t>> sites(
+        pending_remote_.at(t).begin(), pending_remote_.at(t).end());
+    std::sort(sites.begin(), sites.end());
+    for (const auto& [site, count] : sites) {
+      mix(site.value());
+      mix(count);
+    }
+  }
+  mix(0xC3);
+
+  txns.clear();
+  for (const auto& [txn, sites] : remote_holdings_) {
+    if (!sites.empty()) txns.push_back(txn);
+  }
+  std::sort(txns.begin(), txns.end());
+  for (const TransactionId t : txns) {
+    mix(t.value());
+    for (const SiteId site : remote_holdings_.at(t)) mix(site.value());
+  }
+  mix(0xC4);
+
+  mix(next_sequence_);
+  std::vector<std::pair<TransactionId, std::uint64_t>> own(
+      own_comp_seq_.begin(), own_comp_seq_.end());
+  std::sort(own.begin(), own.end());
+  for (const auto& [txn, seq] : own) {
+    mix(txn.value());
+    mix(seq);
+  }
+  mix(0xC5);
+
+  for (const auto& [tag, comp] : computations_) {
+    mix(tag.initiator.value());
+    mix(tag.sequence);
+    mix(comp.floor);
+    for (const TransactionId t : comp.labelled) mix(t.value());
+    mix(0xC6);
+    for (const InterEdge& e : comp.probes_sent) {
+      mix_agent(e.from);
+      mix_agent(e.to);
+    }
+    mix(comp.target ? comp.target->value() + 1 : 0);
+    mix(static_cast<std::uint64_t>(comp.declared));
+  }
+  mix(0xC7);
+
+  std::vector<std::pair<SiteId, std::uint64_t>> floors(floor_seen_.begin(),
+                                                       floor_seen_.end());
+  std::sort(floors.begin(), floors.end());
+  for (const auto& [site, floor] : floors) {
+    mix(site.value());
+    mix(floor);
+  }
+  mix(0xC8);
+
+  for (const auto& [victim, tag] : declared_) {
+    mix(victim.value());
+    mix(tag.initiator.value());
+    mix(tag.sequence);
+  }
+}
+
 }  // namespace cmh::ddb

@@ -161,6 +161,11 @@ class Controller {
     return declared_;
   }
 
+  /// Folds the protocol-relevant controller state into `h` (sorted
+  /// iteration over unordered containers; stats excluded).  Used by the
+  /// exhaustive interleaving checker to fingerprint global states.
+  void mix_state_hash(std::uint64_t& h) const;
+
  private:
   struct Computation {
     std::uint64_t floor{0};

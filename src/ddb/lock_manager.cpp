@@ -218,4 +218,38 @@ std::vector<TransactionId> LockManager::waiters(ResourceId resource) const {
   return result;
 }
 
+void LockManager::mix_state_hash(std::uint64_t& h) const {
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  std::vector<ResourceId> ids;
+  ids.reserve(resources_.size());
+  for (const auto& [id, rs] : resources_) {
+    // Empty entries (everything released) are behaviorally identical to
+    // absent ones; skip them so equivalent states hash equal.
+    if (!rs.holders.empty() || !rs.queue.empty()) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const ResourceId id : ids) {
+    const ResourceState& rs = resources_.at(id);
+    mix(id.value());
+    std::vector<std::pair<TransactionId, Holding>> holders(
+        rs.holders.begin(), rs.holders.end());
+    std::sort(holders.begin(), holders.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [txn, holding] : holders) {
+      mix(txn.value());
+      mix(static_cast<std::uint64_t>(holding.mode));
+      mix(holding.origin.value());
+    }
+    mix(0xD1);  // holders/queue separator
+    for (const LockRequest& r : rs.queue) {
+      mix(r.txn.value());
+      mix(static_cast<std::uint64_t>(r.mode));
+      mix(r.origin.value());
+    }
+    mix(0xD2);
+  }
+}
+
 }  // namespace cmh::ddb

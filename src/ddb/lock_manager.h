@@ -104,6 +104,11 @@ class LockManager {
                                                     TransactionId txn,
                                                     LockMode mode) const;
 
+  /// Folds holders and queues into `h` (sorted iteration, so the value is
+  /// independent of hash-map ordering).  Used by the exhaustive
+  /// interleaving checker to fingerprint states.
+  void mix_state_hash(std::uint64_t& h) const;
+
  private:
   struct ResourceState {
     // Holders: transaction -> holding.  Multiple readers, or one writer.

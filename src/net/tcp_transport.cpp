@@ -103,6 +103,7 @@ void TcpTransport::start() {
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = 0;  // let the OS pick
+    // lint:allow(no-reinterpret-cast) -- the sockaddr cast the BSD API demands
     if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
       ::close(fd);
       throw std::runtime_error("TcpTransport: bind() failed");
@@ -112,6 +113,7 @@ void TcpTransport::start() {
       throw std::runtime_error("TcpTransport: listen() failed");
     }
     socklen_t len = sizeof(addr);
+    // lint:allow(no-reinterpret-cast) -- the sockaddr cast the BSD API demands
     ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
     node->listen_fd = fd;
     node->port = ntohs(addr.sin_port);
@@ -236,6 +238,7 @@ int TcpTransport::connect_to(Node& src, NodeId dst) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(dst_port);
+  // lint:allow(no-reinterpret-cast) -- the sockaddr cast the BSD API demands
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
     return -1;

@@ -20,6 +20,22 @@ SimCluster::SimCluster(std::uint32_t n, core::Options options,
         "tracked while shard workers run handlers concurrently; construct "
         "with track_oracle = false");
   }
+  if (config.audit) {
+    if (config.shards > 1) {
+      throw std::invalid_argument(
+          "SimCluster: the invariant auditor is global mutable state and "
+          "cannot observe concurrent shard workers; construct with "
+          "audit = false");
+    }
+    // QRP1 ("every dark cycle has a declarer") is only sound when edge
+    // creation guarantees a probe computation; manual initiation makes
+    // missed cycles the harness's choice, not a protocol bug.
+    auditor_ = std::make_unique<check::InvariantAuditor>(check::AuditorConfig{
+        .abort_on_violation = config.abort_on_violation,
+        .check_qrp1 = options.initiation != core::InitiationMode::kManual});
+    audit_adapter_ = std::make_unique<AuditAdapter>(*auditor_);
+    sim_.set_observer(audit_adapter_.get());
+  }
   processes_.reserve(n);
   // Node ids equal process ids by construction.
   for (std::uint32_t i = 0; i < n; ++i) sim_.add_node({});
@@ -33,6 +49,9 @@ SimCluster::SimCluster(std::uint32_t n, core::Options options,
         options, &timers_);
     process->set_deadlock_callback([this, id](const ProbeTag& tag) {
       const DeadlockEvent event{tag, id, sim_.now()};
+      // QRP2 is checked at this exact instant: the shadow graph still
+      // reflects the moment of declaration.
+      if (auditor_) auditor_->on_declare(id, event.at);
       {
         const std::lock_guard<std::mutex> lock(detections_mutex_);
         detections_.push_back(event);
@@ -53,6 +72,9 @@ void SimCluster::on_delivery(ProcessId to, ProcessId from,
     // no hooks -- just the process.  Runs concurrently across shards.
     const auto st = processes_[to.value()]->on_message(from, payload);
     if (!st.ok()) throw std::logic_error("on_message: " + st.to_string());
+    if (auditor_) {
+      auditor_->check_local_view(*processes_[to.value()], sim_.now());
+    }
     return;
   }
   // Oracle transitions happen at delivery instants (G2, G4); decode first to
@@ -71,6 +93,11 @@ void SimCluster::on_delivery(ProcessId to, ProcessId from,
   }
   const auto st = processes_.at(to.value())->on_message(from, payload);
   if (!st.ok()) throw std::logic_error("on_message: " + st.to_string());
+  // P3: the receiver's local view must equal the shadow graph's projection
+  // now that it has folded in this delivery.
+  if (auditor_) {
+    auditor_->check_local_view(*processes_[to.value()], sim_.now());
+  }
   for (const DeliveryHook& hook : hooks_) hook(to, from, *decoded);
 }
 
@@ -117,8 +144,19 @@ core::ProcessStats SimCluster::total_stats() const {
   return total;
 }
 
+SimTime SimCluster::run() {
+  const SimTime t = sim_.run();
+  if (auditor_) auditor_->finalize(t);
+  return t;
+}
+
 bool SimCluster::run_until_detection() {
-  return sim_.run_while_pending([this] { return !detections_.empty(); });
+  const bool found =
+      sim_.run_while_pending([this] { return !detections_.empty(); });
+  // An early stop leaves frames legitimately in flight; only a drained
+  // transport is quiescent enough for the P4/QRP1 oracles.
+  if (auditor_ && sim_.idle()) auditor_->finalize(sim_.now());
+  return found;
 }
 
 }  // namespace cmh::runtime

@@ -21,11 +21,21 @@
 #include <mutex>
 #include <vector>
 
+#include "check/invariant_auditor.h"
 #include "core/basic_process.h"
 #include "graph/wait_for_graph.h"
 #include "sim/simulator.h"
 
 namespace cmh::runtime {
+
+/// Whether SimClusterConfig::audit defaults on: yes in Debug/sanitizer
+/// builds (catch protocol regressions everywhere tests run), no in Release
+/// (the auditor copies every in-flight frame -- perf runs opt in).
+#ifdef NDEBUG
+inline constexpr bool kAuditDefault = false;
+#else
+inline constexpr bool kAuditDefault = true;
+#endif
 
 /// TimerService backed by simulator virtual time.
 class SimTimerService final : public core::TimerService {
@@ -54,6 +64,15 @@ struct SimClusterConfig {
   /// Maintain the ground-truth colored wait-for graph (and delivery hooks).
   /// Must be false when shards > 1: the oracle is global mutable state.
   bool track_oracle{true};
+  /// Attach the paper-invariant auditor (src/check): re-derives the colored
+  /// WFG from message traffic and checks G1-G4/P1-P4 plus QRP1/QRP2.
+  /// Defaults on in Debug builds, off in Release; must be false when
+  /// shards > 1 (same reason as the oracle).
+  bool audit{kAuditDefault};
+  /// Auditor failure mode: true throws check::InvariantViolationError at the
+  /// first violation; false accumulates into audit_report() so a harness can
+  /// log every finding.
+  bool abort_on_violation{true};
 };
 
 class SimCluster {
@@ -101,19 +120,52 @@ class SimCluster {
       std::function<void(ProcessId to, ProcessId from, const core::Message&)>;
   void add_delivery_hook(DeliveryHook hook);
 
-  /// Runs the simulator until idle; returns final virtual time.
-  SimTime run() { return sim_.run(); }
+  /// Runs the simulator until idle; returns final virtual time.  With the
+  /// auditor attached, the end-of-run checks (P4, QRP1) fire at quiescence.
+  SimTime run();
 
   /// Runs until the first deadlock declaration or until idle.  Returns true
-  /// if a declaration happened.
+  /// if a declaration happened.  Auditor end-of-run checks fire only if the
+  /// transport drained (an early stop leaves frames legitimately in flight).
   bool run_until_detection();
 
+  /// The attached auditor, or nullptr when SimClusterConfig::audit is off.
+  [[nodiscard]] check::InvariantAuditor* auditor() {
+    return auditor_ ? auditor_.get() : nullptr;
+  }
+
+  /// Violations accumulated so far (empty string when clean or audit off).
+  [[nodiscard]] std::string audit_report() const {
+    return auditor_ ? auditor_->report() : std::string{};
+  }
+
  private:
+  /// NodeId <-> ProcessId shim between the simulator's observer hook and the
+  /// auditor (node ids equal process ids by construction).
+  class AuditAdapter final : public sim::SimObserver {
+   public:
+    explicit AuditAdapter(check::InvariantAuditor& auditor)
+        : auditor_(auditor) {}
+    void on_send(sim::NodeId from, sim::NodeId to, BytesView payload,
+                 SimTime at) override {
+      auditor_.on_send(ProcessId{from}, ProcessId{to}, payload, at);
+    }
+    void on_deliver(sim::NodeId from, sim::NodeId to, BytesView payload,
+                    SimTime at) override {
+      auditor_.on_deliver(ProcessId{from}, ProcessId{to}, payload, at);
+    }
+
+   private:
+    check::InvariantAuditor& auditor_;
+  };
+
   void on_delivery(ProcessId to, ProcessId from, const Bytes& payload);
 
   sim::Simulator sim_;
   SimTimerService timers_;
   bool track_oracle_;
+  std::unique_ptr<check::InvariantAuditor> auditor_;
+  std::unique_ptr<AuditAdapter> audit_adapter_;
   graph::WaitForGraph oracle_;
   std::vector<std::unique_ptr<core::BasicProcess>> processes_;
   std::vector<DeadlockEvent> detections_;

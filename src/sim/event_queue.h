@@ -25,6 +25,7 @@
 //
 // Steady state allocates nothing: buckets, the active run, the near heap and
 // the overflow list all recycle their capacity.
+// cmh:hot-path -- steady-state detection path; lint enforces zero-alloc.
 #pragma once
 
 #include <algorithm>

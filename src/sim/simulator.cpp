@@ -93,6 +93,15 @@ void Simulator::set_handler(NodeId node, MessageHandler handler) {
   nodes_.at(node) = std::move(handler);
 }
 
+void Simulator::set_observer(SimObserver* observer) {
+  if (observer != nullptr && shard_count_ > 1) {
+    throw std::logic_error(
+        "Simulator::set_observer: observers require shards == 1 (concurrent "
+        "shard workers would race on the observer)");
+  }
+  observer_ = observer;
+}
+
 void Simulator::ensure_partition() {
   // Only reachable with shard_count_ > 1 (single-shard constructs frozen).
   const std::size_t n = nodes_.size();
@@ -220,6 +229,7 @@ void Simulator::send(NodeId from, NodeId to, BytesView payload) {
 
   ChannelState& ch = channel_state(from, to);
   const SimTime base = in_dispatch ? src.now : now_;
+  if (observer_ != nullptr) observer_->on_send(from, to, payload, base);
   SimTime deliver_at = base + channel_delay(from, to, ch.count);
   // FIFO per channel: never deliver before an earlier message on the same
   // channel.  (+1us keeps distinct deliveries strictly ordered, which also
@@ -294,6 +304,9 @@ void Simulator::dispatch_on(std::uint32_t shard_idx,
     Bytes payload = std::move(sh.slab[entry.slot].payload);
     release_slot(sh, entry.slot);
     ++sh.stats.messages_delivered;
+    if (observer_ != nullptr) {
+      observer_->on_deliver(entry.a, entry.b, payload, sh.now);
+    }
     {
       CtxGuard guard(this, shard_idx, entry.b);
       if (nodes_[entry.b]) nodes_[entry.b](entry.a, payload);

@@ -87,6 +87,22 @@ struct SimStats {
   std::uint64_t events_processed{0};
 };
 
+/// Observation hook for correctness tooling (src/check).  Callbacks fire
+/// synchronously on the simulator thread: on_send inside send() at the send
+/// instant, on_deliver inside dispatch immediately *before* the receiving
+/// node's handler runs, so an observer sees every state transition at the
+/// instant the model says it happens.  Observers are only supported in
+/// single-shard mode: with shards > 1 deliveries on different shards run
+/// concurrently and a global observer would be a data race by construction.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  virtual void on_send(NodeId from, NodeId to, BytesView payload,
+                       SimTime at) = 0;
+  virtual void on_deliver(NodeId from, NodeId to, BytesView payload,
+                          SimTime at) = 0;
+};
+
 class Simulator {
  public:
   using MessageHandler =
@@ -106,6 +122,13 @@ class Simulator {
   /// Replaces the handler of an existing node (used by harnesses that
   /// construct nodes after wiring).
   void set_handler(NodeId node, MessageHandler handler);
+
+  /// Attaches (or detaches, with nullptr) a traffic observer.  The observer
+  /// is borrowed and must outlive the simulator or be detached first.
+  /// Throws std::logic_error in multi-shard mode -- see SimObserver.
+  void set_observer(SimObserver* observer);
+
+  [[nodiscard]] SimObserver* observer() const { return observer_; }
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
@@ -252,6 +275,7 @@ class Simulator {
   bool partition_frozen_{false};
 
   SimTime now_{SimTime::zero()};
+  SimObserver* observer_{nullptr};
   std::vector<MessageHandler> nodes_;
   std::vector<ShardState> shards_;
 

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules that clang-tidy cannot express.
+
+Rules (each can be silenced on a single line with `// lint:allow(<rule>)`):
+
+  pragma-once         every header under src/ starts with #pragma once.
+  no-reinterpret-cast no reinterpret_cast anywhere under src/.  The wire
+                      codecs (common/serialize.h) are written cast-free on
+                      purpose; OS-API call sites (sockaddr) carry explicit
+                      allows.
+  hot-path-alloc      files tagged `// cmh:hot-path` near the top must not
+                      heap-allocate (new / make_unique / make_shared /
+                      malloc) nor use std::unordered_{map,set} -- the
+                      steady-state detection path is zero-alloc and
+                      cache-friendly by design (see DESIGN.md).
+  transport-bytesview transport send surfaces take BytesView, never
+                      `const Bytes&`: senders must accept stack frames
+                      without forcing a heap copy at the boundary.
+
+Usage: tools/lint_repo.py [--root DIR]
+Exit status: 0 clean, 1 findings (printed as path:line: [rule] message).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+HOT_PATH_MARKER = "// cmh:hot-path"
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z0-9-]+)\)")
+
+ALLOC_RE = re.compile(
+    r"\bnew\b|\bstd::make_unique\b|\bstd::make_shared\b|\bmalloc\s*\("
+)
+UNORDERED_RE = re.compile(r"\bstd::unordered_(map|set)\b")
+REINTERPRET_RE = re.compile(r"\breinterpret_cast\b")
+# A declaration line of a send-like function taking a borrowed Bytes:
+# matches `send(`, `send_frame(` etc. followed (same line) by `const Bytes&`.
+SEND_BYTES_RE = re.compile(r"\b\w*send\w*\s*\([^)]*const\s+Bytes\s*&")
+
+
+def strip_comments(lines: list[str]) -> list[str]:
+    """Remove // and /* */ comment text, preserving line structure."""
+    out = []
+    in_block = False
+    for line in lines:
+        result = []
+        i = 0
+        while i < len(line):
+            if in_block:
+                end = line.find("*/", i)
+                if end == -1:
+                    i = len(line)
+                else:
+                    in_block = False
+                    i = end + 2
+            elif line.startswith("//", i):
+                break
+            elif line.startswith("/*", i):
+                in_block = True
+                i += 2
+            else:
+                result.append(line[i])
+                i += 1
+        out.append("".join(result))
+    return out
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.findings: list[tuple[pathlib.Path, int, str, str]] = []
+
+    def report(self, path: pathlib.Path, line_no: int, rule: str,
+               message: str, raw_line: str, prev_line: str = "") -> None:
+        # An allow silences the rule on its own line or the line below it
+        # (long call sites keep the annotation readable on its own line).
+        for candidate in (raw_line, prev_line):
+            allow = ALLOW_RE.search(candidate)
+            if allow and allow.group(1) == rule:
+                return
+        self.findings.append((path, line_no, rule, message))
+
+    def lint_file(self, path: pathlib.Path) -> None:
+        raw = path.read_text(encoding="utf-8").splitlines()
+        code = strip_comments(raw)
+        head = "\n".join(raw[:15])
+        hot_path = HOT_PATH_MARKER in head
+
+        if path.suffix == ".h" and not any("#pragma once" in l for l in raw):
+            self.report(path, 1, "pragma-once",
+                        "header has no #pragma once", raw[0] if raw else "")
+
+        for i, (code_line, raw_line) in enumerate(zip(code, raw), start=1):
+            prev = raw[i - 2] if i >= 2 else ""
+            if REINTERPRET_RE.search(code_line):
+                self.report(path, i, "no-reinterpret-cast",
+                            "reinterpret_cast is banned in src/ "
+                            "(write the codec cast-free or add an allow)",
+                            raw_line, prev)
+            if hot_path:
+                if ALLOC_RE.search(code_line):
+                    self.report(path, i, "hot-path-alloc",
+                                "heap allocation in a cmh:hot-path file",
+                                raw_line, prev)
+                if UNORDERED_RE.search(code_line):
+                    self.report(path, i, "hot-path-alloc",
+                                "std::unordered_{map,set} in a cmh:hot-path "
+                                "file (use FlatSet / sorted vectors)",
+                                raw_line, prev)
+            if path.suffix == ".h" and SEND_BYTES_RE.search(code_line):
+                self.report(path, i, "transport-bytesview",
+                            "send surface takes `const Bytes&`; accept "
+                            "BytesView so stack frames pass without a copy",
+                            raw_line, prev)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: this script's ../)")
+    args = parser.parse_args()
+    root = (pathlib.Path(args.root) if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint_repo: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    linter = Linter()
+    for path in sorted(src.rglob("*")):
+        if path.suffix in (".h", ".cpp"):
+            linter.lint_file(path)
+
+    for path, line_no, rule, message in linter.findings:
+        rel = path.relative_to(root)
+        print(f"{rel}:{line_no}: [{rule}] {message}")
+    if linter.findings:
+        print(f"lint_repo: {len(linter.findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint_repo: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
