@@ -133,8 +133,12 @@ void BM_ShardedDetectionWave(benchmark::State& state) {
   for (auto _ : state) {
     runtime::SimCluster cluster(
         kProcs, options,
-        runtime::SimClusterConfig{
-            .seed = 17, .shards = shards, .track_oracle = false});
+        // audit = false explicitly: it defaults on in Debug builds and
+        // rejects shards > 1 (the auditor is global mutable state).
+        runtime::SimClusterConfig{.seed = 17,
+                                  .shards = shards,
+                                  .track_oracle = false,
+                                  .audit = false});
     runtime::issue_scenario(cluster, scenario);
     cluster.run();  // wedge: all requests delivered, every process blocked
     for (const ProcessId head : scenario.planted_cycle) {

@@ -3,13 +3,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace cmh {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kOff};
-std::mutex g_mutex;
+// Serializes whole lines onto stderr; fprintf interleaving across threads
+// would shred concurrent log statements mid-line.
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -33,7 +36,7 @@ void log_line(LogLevel level, std::string_view tag, const std::string& msg) {
   const auto us =
       duration_cast<microseconds>(steady_clock::now().time_since_epoch())
           .count();
-  std::scoped_lock lock(g_mutex);
+  const MutexLock lock(g_mutex);
   std::fprintf(stderr, "%s %lld.%06lld [%.*s] %s\n", level_name(level),
                static_cast<long long>(us / 1000000),
                static_cast<long long>(us % 1000000),

@@ -5,7 +5,7 @@
 namespace cmh::net {
 
 NodeId InMemoryTransport::add_node(Handler handler) {
-  std::scoped_lock lock(nodes_mutex_);
+  const MutexLock lock(nodes_mutex_);
   if (started_) {
     throw std::logic_error("InMemoryTransport: add_node after start()");
   }
@@ -16,25 +16,38 @@ NodeId InMemoryTransport::add_node(Handler handler) {
 }
 
 void InMemoryTransport::set_handler(NodeId node, Handler handler) {
-  std::scoped_lock lock(nodes_mutex_);
+  const MutexLock lock(nodes_mutex_);
+  if (started_) {
+    // The worker threads read handlers without a lock (frozen-after-start
+    // protocol); replacing one mid-flight would race with delivery.
+    throw std::logic_error("InMemoryTransport: set_handler after start()");
+  }
   nodes_.at(node)->handler = std::move(handler);
+}
+
+std::vector<InMemoryTransport::Node*> InMemoryTransport::snapshot_nodes() {
+  const MutexLock lock(nodes_mutex_);
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(node.get());
+  return out;
 }
 
 void InMemoryTransport::send(NodeId from, NodeId to, BytesView payload) {
   Node* node = nullptr;
   {
-    std::scoped_lock lock(nodes_mutex_);
+    const MutexLock lock(nodes_mutex_);
     node = nodes_.at(to).get();
   }
   {
-    std::scoped_lock lock(node->mutex);
+    const MutexLock lock(node->mutex);
     node->queue.push_back(Mail{from, Bytes(payload.begin(), payload.end())});
   }
   node->cv.notify_one();
 }
 
 void InMemoryTransport::start() {
-  std::scoped_lock lock(nodes_mutex_);
+  const MutexLock lock(nodes_mutex_);
   if (started_) return;
   started_ = true;
   stopping_ = false;
@@ -45,20 +58,23 @@ void InMemoryTransport::start() {
 
 void InMemoryTransport::stop() {
   {
-    std::scoped_lock lock(nodes_mutex_);
+    const MutexLock lock(nodes_mutex_);
     if (!started_ || stopping_) return;
     stopping_ = true;
   }
-  for (auto& node : nodes_) {
+  // Per-node work below runs on a registry snapshot: joining workers while
+  // holding nodes_mutex_ would deadlock against handlers calling send().
+  const std::vector<Node*> nodes = snapshot_nodes();
+  for (Node* node : nodes) {
     // Take the node mutex before notifying so a worker between its
     // predicate check and wait() cannot miss the wakeup.
-    { std::scoped_lock lock(node->mutex); }
+    { const MutexLock lock(node->mutex); }
     node->cv.notify_all();
   }
-  for (auto& node : nodes_) {
+  for (Node* node : nodes) {
     if (node->worker.joinable()) node->worker.join();
   }
-  std::scoped_lock lock(nodes_mutex_);
+  const MutexLock lock(nodes_mutex_);
   started_ = false;
 }
 
@@ -66,8 +82,13 @@ void InMemoryTransport::worker_loop(Node& node) {
   for (;;) {
     Mail mail;
     {
-      std::unique_lock lock(node.mutex);
-      node.cv.wait(lock, [&] { return stopping_ || !node.queue.empty(); });
+      const MutexLock lock(node.mutex);
+      node.cv.wait(node.mutex, [&] {
+        // Held by CondVar::wait's contract; the analysis cannot see through
+        // the predicate lambda boundary.
+        node.mutex.assert_held();
+        return stopping_.load() || !node.queue.empty();
+      });
       if (node.queue.empty()) return;  // stopping and drained
       mail = std::move(node.queue.front());
       node.queue.pop_front();
@@ -75,7 +96,7 @@ void InMemoryTransport::worker_loop(Node& node) {
     }
     if (node.handler) node.handler(mail.from, mail.payload);
     {
-      std::scoped_lock lock(node.mutex);
+      const MutexLock lock(node.mutex);
       node.busy = false;
     }
     node.cv.notify_all();
@@ -83,9 +104,12 @@ void InMemoryTransport::worker_loop(Node& node) {
 }
 
 void InMemoryTransport::drain() {
-  for (auto& node : nodes_) {
-    std::unique_lock lock(node->mutex);
-    node->cv.wait(lock, [&] { return node->queue.empty() && !node->busy; });
+  for (Node* node : snapshot_nodes()) {
+    const MutexLock lock(node->mutex);
+    node->cv.wait(node->mutex, [&] {
+      node->mutex.assert_held();  // held by CondVar::wait's contract
+      return node->queue.empty() && !node->busy;
+    });
   }
 }
 

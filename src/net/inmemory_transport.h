@@ -5,16 +5,20 @@
 // requirement) while different nodes run genuinely concurrently.  Per-channel
 // FIFO holds because a sender enqueues into the destination mailbox in
 // program order under the mailbox lock.
+//
+// Capability model (DESIGN.md section 7.2): the node registry is guarded by
+// nodes_mutex_ and frozen at start(); each node's mailbox state is guarded
+// by that node's own mutex.  The two are never nested in the same direction
+// twice: registry lookups copy a Node* out before touching per-node state.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "net/transport.h"
 
 namespace cmh::net {
@@ -28,6 +32,8 @@ class InMemoryTransport final : public Transport {
   InMemoryTransport& operator=(const InMemoryTransport&) = delete;
 
   NodeId add_node(Handler handler) override;
+  /// Rejected after start(): the delivery threads read node handlers without
+  /// a lock, which is only sound while the handler set is frozen.
   void set_handler(NodeId node, Handler handler) override;
   void send(NodeId from, NodeId to, BytesView payload) override;
   void start() override;
@@ -44,19 +50,27 @@ class InMemoryTransport final : public Transport {
     Bytes payload;
   };
   struct Node {
+    // Written only before start() (add_node/set_handler enforce it), read
+    // by the worker thread afterwards: the thread creation in start()
+    // publishes it, so no lock is needed once the set is frozen.
     Handler handler;
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<Mail> queue;
-    bool busy{false};  // a message is being handled right now
+    Mutex mutex;
+    CondVar cv;
+    std::deque<Mail> queue CMH_GUARDED_BY(mutex);
+    bool busy CMH_GUARDED_BY(mutex){false};  // a message is in its handler
     std::thread worker;
   };
 
   void worker_loop(Node& node);
 
-  std::mutex nodes_mutex_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  bool started_{false};
+  /// Registry snapshot for the phases that must not hold nodes_mutex_ while
+  /// touching per-node locks (stop joins workers that may be inside send(),
+  /// which takes nodes_mutex_).
+  [[nodiscard]] std::vector<Node*> snapshot_nodes() CMH_EXCLUDES(nodes_mutex_);
+
+  Mutex nodes_mutex_;
+  std::vector<std::unique_ptr<Node>> nodes_ CMH_GUARDED_BY(nodes_mutex_);
+  bool started_ CMH_GUARDED_BY(nodes_mutex_){false};
   std::atomic<bool> stopping_{false};
 };
 

@@ -62,10 +62,37 @@ bool recv_frame(int fd, Bytes& payload) {
   return len == 0 || read_all(fd, payload.data(), len);
 }
 
+// Dials the destination's listener and performs the identity handshake.
+// Pure function of (src_id, dst_port): the caller resolves both under
+// nodes_mutex_, so this helper needs no capability at all.
+int connect_to(NodeId src_id, std::uint16_t dst_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(dst_port);
+  // lint:allow(no-reinterpret-cast) -- the sockaddr cast the BSD API demands
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  Bytes hello(sizeof(NodeId));
+  std::memcpy(hello.data(), &src_id, sizeof(src_id));
+  if (!send_frame(fd, hello)) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
 }  // namespace
 
 NodeId TcpTransport::add_node(Handler handler) {
-  std::scoped_lock lock(nodes_mutex_);
+  const MutexLock lock(nodes_mutex_);
   if (started_) {
     throw std::logic_error("TcpTransport: add_node after start()");
   }
@@ -77,22 +104,38 @@ NodeId TcpTransport::add_node(Handler handler) {
 }
 
 void TcpTransport::set_handler(NodeId node, Handler handler) {
-  std::scoped_lock lock(nodes_mutex_);
+  const MutexLock lock(nodes_mutex_);
+  if (started_) {
+    // The deliverer threads read handlers without a lock (frozen-after-start
+    // protocol); replacing one mid-flight would race with delivery.
+    throw std::logic_error("TcpTransport: set_handler after start()");
+  }
   nodes_.at(node)->handler = std::move(handler);
 }
 
 std::uint16_t TcpTransport::port(NodeId node) const {
-  std::scoped_lock lock(nodes_mutex_);
+  const MutexLock lock(nodes_mutex_);
   return nodes_.at(node)->port;
 }
 
+std::vector<TcpTransport::Node*> TcpTransport::snapshot_nodes() const {
+  const MutexLock lock(nodes_mutex_);
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(node.get());
+  return out;
+}
+
 void TcpTransport::start() {
-  std::scoped_lock lock(nodes_mutex_);
+  const MutexLock lock(nodes_mutex_);
   if (started_) return;
   stopping_ = false;
 
   for (auto& node : nodes_) {
-    node->out_fds.assign(nodes_.size(), -1);
+    {
+      const MutexLock out_lock(node->out_mutex);
+      node->out_fds.assign(nodes_.size(), -1);
+    }
 
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) throw std::runtime_error("TcpTransport: socket() failed");
@@ -131,18 +174,22 @@ void TcpTransport::stop() {
   if (!started_.exchange(false)) return;
   stopping_ = true;
 
+  // Everything below runs on a registry snapshot: nodes_mutex_ must not be
+  // held while node-level locks are taken (send() orders nodes_mutex_ before
+  // out_mutex, so nesting them here would be the historic lock-order
+  // inversion TSan flagged) nor while joining threads whose handlers may be
+  // inside send().
+  const std::vector<Node*> nodes = snapshot_nodes();
+
   // Close sockets: the listening sockets unblock the acceptors, the data
-  // sockets unblock the readers.  nodes_ itself is immutable after start(),
-  // so no registry lock is needed -- and taking nodes_mutex_ here while
-  // grabbing each out_mutex would invert send()'s
-  // out_mutex-before-nodes_mutex order (TSan-reported potential deadlock).
-  for (auto& node : nodes_) {
+  // sockets unblock the readers.
+  for (Node* node : nodes) {
     const int listen_fd = node->listen_fd.exchange(-1);
     if (listen_fd >= 0) {
       ::shutdown(listen_fd, SHUT_RDWR);
       ::close(listen_fd);
     }
-    std::scoped_lock out_lock(node->out_mutex);
+    const MutexLock out_lock(node->out_mutex);
     for (int& fd : node->out_fds) {
       if (fd >= 0) {
         ::shutdown(fd, SHUT_RDWR);
@@ -151,21 +198,18 @@ void TcpTransport::stop() {
       }
     }
   }
-  // Join WITHOUT holding nodes_mutex_: delivery handlers may still be
-  // inside send(), which takes that mutex (the nodes_ vector itself is
-  // immutable after start()).
-  for (auto& node : nodes_) {
+  for (Node* node : nodes) {
     if (node->acceptor.joinable()) node->acceptor.join();
-    std::scoped_lock readers_lock(node->readers_mutex);
+    const MutexLock readers_lock(node->readers_mutex);
     for (auto& t : node->readers) {
       if (t.joinable()) t.join();
     }
     node->readers.clear();
   }
-  for (auto& node : nodes_) {
+  for (Node* node : nodes) {
     // Take the mail mutex before notifying so a deliverer between its
     // predicate check and wait() cannot miss the wakeup.
-    { std::scoped_lock lock(node->mail_mutex); }
+    { const MutexLock lock(node->mail_mutex); }
     node->mail_cv.notify_all();
     if (node->deliverer.joinable()) node->deliverer.join();
   }
@@ -182,7 +226,7 @@ void TcpTransport::acceptor_loop(Node& node) {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::scoped_lock lock(node.readers_mutex);
+    const MutexLock lock(node.readers_mutex);
     node.readers.emplace_back([this, &node, fd] { reader_loop(node, fd); });
   }
 }
@@ -200,7 +244,7 @@ void TcpTransport::reader_loop(Node& node, int fd) {
   Bytes payload;
   while (recv_frame(fd, payload)) {
     {
-      std::scoped_lock lock(node.mail_mutex);
+      const MutexLock lock(node.mail_mutex);
       node.mailbox.emplace_back(from, std::move(payload));
       payload = Bytes{};
     }
@@ -213,9 +257,13 @@ void TcpTransport::deliverer_loop(Node& node) {
   for (;;) {
     std::pair<NodeId, Bytes> mail;
     {
-      std::unique_lock lock(node.mail_mutex);
-      node.mail_cv.wait(
-          lock, [&] { return stopping_ || !node.mailbox.empty(); });
+      const MutexLock lock(node.mail_mutex);
+      node.mail_cv.wait(node.mail_mutex, [&] {
+        // Held by CondVar::wait's contract; the analysis cannot see through
+        // the predicate lambda boundary.
+        node.mail_mutex.assert_held();
+        return stopping_.load() || !node.mailbox.empty();
+      });
       if (node.mailbox.empty()) return;
       mail = std::move(node.mailbox.front());
       node.mailbox.pop_front();
@@ -224,54 +272,28 @@ void TcpTransport::deliverer_loop(Node& node) {
   }
 }
 
-int TcpTransport::connect_to(Node& src, NodeId dst) {
-  // Ports and ids are immutable once start() has returned (and the caller
-  // already bounds-checked dst under nodes_mutex_), so no lock here -- the
-  // caller holds src.out_mutex, and taking nodes_mutex_ under it would
-  // invert stop()'s locking order.
-  const std::uint16_t dst_port = nodes_[dst]->port;
-  const NodeId src_id = src.id;
-
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(dst_port);
-  // lint:allow(no-reinterpret-cast) -- the sockaddr cast the BSD API demands
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return -1;
-  }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-  Bytes hello(sizeof(NodeId));
-  std::memcpy(hello.data(), &src_id, sizeof(src_id));
-  if (!send_frame(fd, hello)) {
-    ::close(fd);
-    return -1;
-  }
-  return fd;
-}
-
 void TcpTransport::send(NodeId from, NodeId to, BytesView payload) {
   if (stopping_) return;  // shutting down; drops are acceptable
   Node* src = nullptr;
+  std::uint16_t dst_port = 0;
   {
-    std::scoped_lock lock(nodes_mutex_);
+    const MutexLock lock(nodes_mutex_);
     src = nodes_.at(from).get();
     if (to >= nodes_.size()) {
       throw std::out_of_range("TcpTransport::send: unknown destination");
     }
+    // Resolve the destination port here, under the registry lock, so the
+    // dial below never reads the registry while holding out_mutex (that
+    // nesting is the lock-order inversion stop() used to have).
+    dst_port = nodes_[to]->port;
   }
   // Per-destination connection established lazily; the out_mutex also
   // serializes concurrent senders on the same channel, preserving frame
   // atomicity and FIFO.
-  std::scoped_lock lock(src->out_mutex);
+  const MutexLock lock(src->out_mutex);
   if (stopping_) return;
   int& fd = src->out_fds.at(to);
-  if (fd < 0) fd = connect_to(*src, to);
+  if (fd < 0) fd = connect_to(src->id, dst_port);
   if (fd < 0) {
     CMH_LOG(kWarn, "tcp") << "connect to node " << to << " failed";
     return;

@@ -6,18 +6,25 @@
 // per (src,dst) pair; TCP's byte-stream ordering gives per-channel FIFO.
 // Delivered messages are funnelled through a per-destination mailbox thread
 // so handlers stay sequential per node (atomic-step requirement).
+//
+// Capability model (DESIGN.md section 7.2): the node registry is guarded by
+// nodes_mutex_ and frozen at start(); each node carries three independent
+// capabilities -- readers_mutex (acceptor-side thread list), out_mutex
+// (sender-side connection cache) and mail_mutex (delivery mailbox).  No two
+// node-level mutexes are ever nested; registry lookups copy what they need
+// out from under nodes_mutex_ before taking a node-level lock, which is what
+// rules out the historic stop()/send() lock-order inversion by construction.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "net/transport.h"
 
 namespace cmh::net {
@@ -34,6 +41,8 @@ class TcpTransport final : public Transport {
   TcpTransport& operator=(const TcpTransport&) = delete;
 
   NodeId add_node(Handler handler) override;
+  /// Rejected after start(): the deliverer threads read node handlers
+  /// without a lock, which is only sound while the handler set is frozen.
   void set_handler(NodeId node, Handler handler) override;
   void send(NodeId from, NodeId to, BytesView payload) override;
   void start() override;
@@ -44,33 +53,42 @@ class TcpTransport final : public Transport {
 
  private:
   struct Node {
+    // handler/id/port are written only before the worker threads exist
+    // (add_node / start(), pre-publication) and are immutable afterwards;
+    // the thread creation in start() publishes them to the workers.
     Handler handler;
     NodeId id{0};
+    std::uint16_t port{0};
     // Atomic: stop() closes it while the acceptor thread is reading it.
     std::atomic<int> listen_fd{-1};
-    std::uint16_t port{0};
     std::thread acceptor;
-    std::vector<std::thread> readers;
-    std::mutex readers_mutex;
+
+    Mutex readers_mutex;
+    std::vector<std::thread> readers CMH_GUARDED_BY(readers_mutex);
 
     // Outbound connections, keyed by destination node.
-    std::mutex out_mutex;
-    std::vector<int> out_fds;  // index = destination node, -1 = none
+    Mutex out_mutex;
+    std::vector<int> out_fds CMH_GUARDED_BY(out_mutex);  // -1 = none
 
     // Inbound delivery mailbox (serializes handler execution).
-    std::mutex mail_mutex;
-    std::condition_variable mail_cv;
-    std::deque<std::pair<NodeId, Bytes>> mailbox;
+    Mutex mail_mutex;
+    CondVar mail_cv;
+    std::deque<std::pair<NodeId, Bytes>> mailbox CMH_GUARDED_BY(mail_mutex);
     std::thread deliverer;
   };
 
   void acceptor_loop(Node& node);
   void reader_loop(Node& node, int fd);
   void deliverer_loop(Node& node);
-  int connect_to(Node& src, NodeId dst);
 
-  mutable std::mutex nodes_mutex_;
-  std::vector<std::unique_ptr<Node>> nodes_;
+  /// Registry snapshot for the phases that must not hold nodes_mutex_ while
+  /// taking node-level locks or joining threads (handlers may be inside
+  /// send(), which takes nodes_mutex_).
+  [[nodiscard]] std::vector<Node*> snapshot_nodes() const
+      CMH_EXCLUDES(nodes_mutex_);
+
+  mutable Mutex nodes_mutex_;
+  std::vector<std::unique_ptr<Node>> nodes_ CMH_GUARDED_BY(nodes_mutex_);
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
 };

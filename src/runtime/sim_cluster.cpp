@@ -53,8 +53,9 @@ SimCluster::SimCluster(std::uint32_t n, core::Options options,
       // reflects the moment of declaration.
       if (auditor_) auditor_->on_declare(id, event.at);
       {
-        const std::lock_guard<std::mutex> lock(detections_mutex_);
+        const MutexLock lock(detections_mutex_);
         detections_.push_back(event);
+        detection_count_.store(detections_.size(), std::memory_order_release);
       }
       if (on_detection_) on_detection_(event);
     });
@@ -152,7 +153,7 @@ SimTime SimCluster::run() {
 
 bool SimCluster::run_until_detection() {
   const bool found =
-      sim_.run_while_pending([this] { return !detections_.empty(); });
+      sim_.run_while_pending([this] { return detection_count() > 0; });
   // An early stop leaves frames legitimately in flight; only a drained
   // transport is quiescent enough for the P4/QRP1 oracles.
   if (auditor_ && sim_.idle()) auditor_->finalize(sim_.now());

@@ -16,12 +16,13 @@
 // under a mutex).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "check/invariant_auditor.h"
+#include "common/sync.h"
 #include "core/basic_process.h"
 #include "graph/wait_for_graph.h"
 #include "sim/simulator.h"
@@ -97,9 +98,18 @@ class SimCluster {
   /// p_from replies to p_to's pending request.
   void reply(ProcessId from, ProcessId to);
 
-  /// Deadlock declarations observed so far (chronological).
-  [[nodiscard]] const std::vector<DeadlockEvent>& detections() const {
+  /// Deadlock declarations observed so far (chronological).  Returns a
+  /// snapshot by value: in sharded runs declarations land from shard worker
+  /// threads, so handing out a reference to the live vector would let the
+  /// caller read it unguarded.
+  [[nodiscard]] std::vector<DeadlockEvent> detections() const {
+    const MutexLock lock(detections_mutex_);
     return detections_;
+  }
+
+  /// Number of declarations so far (lock-free; safe from any thread).
+  [[nodiscard]] std::size_t detection_count() const {
+    return detection_count_.load(std::memory_order_acquire);
   }
 
   /// Invoked synchronously at the instant a process declares deadlock --
@@ -168,8 +178,12 @@ class SimCluster {
   std::unique_ptr<AuditAdapter> audit_adapter_;
   graph::WaitForGraph oracle_;
   std::vector<std::unique_ptr<core::BasicProcess>> processes_;
-  std::vector<DeadlockEvent> detections_;
-  std::mutex detections_mutex_;  // declarations may come from shard workers
+  // Declarations may come from shard workers; the atomic count lets the
+  // sequential run-until-detection predicate poll without taking the lock
+  // on every event.
+  mutable Mutex detections_mutex_;
+  std::vector<DeadlockEvent> detections_ CMH_GUARDED_BY(detections_mutex_);
+  std::atomic<std::size_t> detection_count_{0};
   std::vector<DeliveryHook> hooks_;
   DetectionCallback on_detection_;
 };

@@ -12,7 +12,7 @@ ThreadTimerService::~ThreadTimerService() { stop(); }
 
 void ThreadTimerService::stop() {
   {
-    std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -24,7 +24,7 @@ void ThreadTimerService::schedule(SimTime delay, std::function<void()> fn) {
   const auto at = std::chrono::steady_clock::now() +
                   std::chrono::microseconds(delay.micros);
   {
-    std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     if (stopping_) return;
     pending_.emplace(at, std::move(fn));
   }
@@ -32,31 +32,40 @@ void ThreadTimerService::schedule(SimTime delay, std::function<void()> fn) {
 }
 
 void ThreadTimerService::loop() {
-  std::unique_lock lock(mutex_);
+  // Due callbacks are moved out under the lock and fired outside it: a
+  // callback may call schedule() (which takes mutex_) or run arbitrarily
+  // long, and must not do either while holding the scheduler lock.
+  std::vector<std::function<void()>> due;
   for (;;) {
-    if (stopping_) return;
-    if (pending_.empty()) {
-      cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
-      continue;
+    {
+      const MutexLock lock(mutex_);
+      for (;;) {
+        if (stopping_) return;
+        if (pending_.empty()) {
+          cv_.wait(mutex_, [&] {
+            mutex_.assert_held();  // held by CondVar::wait's contract
+            return stopping_ || !pending_.empty();
+          });
+          continue;
+        }
+        const auto next = pending_.begin()->first;
+        if (std::chrono::steady_clock::now() >= next) break;
+        cv_.wait_until(mutex_, next, [&] {
+          mutex_.assert_held();  // held by CondVar::wait's contract
+          // Wake early on stop or when schedule() inserts an earlier
+          // deadline; either way the outer loop re-evaluates.
+          return stopping_ || pending_.empty() ||
+                 pending_.begin()->first < next;
+        });
+      }
+      const auto now = std::chrono::steady_clock::now();
+      while (!pending_.empty() && pending_.begin()->first <= now) {
+        due.push_back(std::move(pending_.begin()->second));
+        pending_.erase(pending_.begin());
+      }
     }
-    const auto next = pending_.begin()->first;
-    if (cv_.wait_until(lock, next, [&] {
-          return stopping_ ||
-                 (!pending_.empty() && pending_.begin()->first <= next &&
-                  std::chrono::steady_clock::now() >= pending_.begin()->first);
-        })) {
-      if (stopping_) return;
-    }
-    // Fire everything due.
-    const auto now = std::chrono::steady_clock::now();
-    while (!pending_.empty() && pending_.begin()->first <= now) {
-      auto fn = std::move(pending_.begin()->second);
-      pending_.erase(pending_.begin());
-      lock.unlock();
-      fn();
-      lock.lock();
-      if (stopping_) return;
-    }
+    for (auto& fn : due) fn();
+    due.clear();
   }
 }
 
@@ -69,19 +78,19 @@ namespace {
 /// into BasicProcess and must not race with message delivery).
 class LockingTimerService final : public core::TimerService {
  public:
-  LockingTimerService(core::TimerService& inner, std::mutex& mutex)
+  LockingTimerService(core::TimerService& inner, Mutex& mutex)
       : inner_(inner), mutex_(mutex) {}
 
   void schedule(SimTime delay, std::function<void()> fn) override {
     inner_.schedule(delay, [&m = mutex_, f = std::move(fn)] {
-      std::scoped_lock lock(m);
+      const MutexLock lock(m);
       f();
     });
   }
 
  private:
   core::TimerService& inner_;
-  std::mutex& mutex_;
+  Mutex& mutex_;
 };
 
 }  // namespace
@@ -98,23 +107,27 @@ ThreadedCluster::ThreadedCluster(net::Transport& transport, std::uint32_t n,
     Cell& cell = *cells_[i];
     cell.timer_adapter =
         std::make_unique<LockingTimerService>(timers_, cell.mutex);
-    cell.process = std::make_unique<core::BasicProcess>(
+    // Built and wired while still thread-local, then published into the
+    // cell; the pointee is only ever dereferenced under cell.mutex once the
+    // transport starts.
+    auto process = std::make_unique<core::BasicProcess>(
         id,
         [this, id](ProcessId to, BytesView payload) {
           transport_.send(id.value(), to.value(), payload);
         },
         options, cell.timer_adapter.get());
-    cell.process->set_deadlock_callback([this, id](const ProbeTag&) {
+    process->set_deadlock_callback([this, id](const ProbeTag&) {
       {
-        std::scoped_lock lock(detect_mutex_);
+        const MutexLock lock(detect_mutex_);
         detections_.push_back(id);
       }
       detect_cv_.notify_all();
     });
+    cell.process = std::move(process);
     const auto node = transport_.add_node(
         [this, i](net::NodeId from, const Bytes& payload) {
           Cell& c = *cells_[i];
-          std::scoped_lock lock(c.mutex);
+          const MutexLock lock(c.mutex);
           const auto st = c.process->on_message(ProcessId{from}, payload);
           if (!st.ok()) {
             // Malformed frame from a peer: drop (logged by caller layers).
@@ -131,7 +144,7 @@ ThreadedCluster::~ThreadedCluster() { stop(); }
 
 void ThreadedCluster::stop() {
   {
-    std::scoped_lock lock(detect_mutex_);
+    const MutexLock lock(detect_mutex_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -141,57 +154,60 @@ void ThreadedCluster::stop() {
 
 void ThreadedCluster::request(ProcessId from, ProcessId to) {
   Cell& cell = *cells_.at(from.value());
-  std::scoped_lock lock(cell.mutex);
+  const MutexLock lock(cell.mutex);
   cell.process->send_request(to);
 }
 
 void ThreadedCluster::reply(ProcessId from, ProcessId to) {
   Cell& cell = *cells_.at(from.value());
-  std::scoped_lock lock(cell.mutex);
+  const MutexLock lock(cell.mutex);
   cell.process->send_reply(to);
 }
 
 std::optional<ProbeTag> ThreadedCluster::initiate(ProcessId p) {
   Cell& cell = *cells_.at(p.value());
-  std::scoped_lock lock(cell.mutex);
+  const MutexLock lock(cell.mutex);
   return cell.process->initiate();
 }
 
 bool ThreadedCluster::deadlocked(ProcessId p) const {
   const Cell& cell = *cells_.at(p.value());
-  std::scoped_lock lock(cell.mutex);
+  const MutexLock lock(cell.mutex);
   return cell.process->deadlocked();
 }
 
 bool ThreadedCluster::declared(ProcessId p) const {
   const Cell& cell = *cells_.at(p.value());
-  std::scoped_lock lock(cell.mutex);
+  const MutexLock lock(cell.mutex);
   return cell.process->declared_deadlock();
 }
 
 core::ProcessStats ThreadedCluster::stats(ProcessId p) const {
   const Cell& cell = *cells_.at(p.value());
-  std::scoped_lock lock(cell.mutex);
+  const MutexLock lock(cell.mutex);
   return cell.process->stats();
 }
 
 std::set<graph::Edge> ThreadedCluster::wfgd_edges(ProcessId p) const {
   const Cell& cell = *cells_.at(p.value());
-  std::scoped_lock lock(cell.mutex);
+  const MutexLock lock(cell.mutex);
   const auto& edges = cell.process->wfgd_edges();
   return {edges.begin(), edges.end()};
 }
 
 std::optional<ProcessId> ThreadedCluster::wait_for_detection(
     std::chrono::milliseconds max) {
-  std::unique_lock lock(detect_mutex_);
-  detect_cv_.wait_for(lock, max, [&] { return !detections_.empty(); });
+  const MutexLock lock(detect_mutex_);
+  detect_cv_.wait_for(detect_mutex_, max, [&] {
+    detect_mutex_.assert_held();  // held by CondVar::wait's contract
+    return !detections_.empty();
+  });
   if (detections_.empty()) return std::nullopt;
   return detections_.front();
 }
 
 std::size_t ThreadedCluster::detection_count() const {
-  std::scoped_lock lock(detect_mutex_);
+  const MutexLock lock(detect_mutex_);
   return detections_.size();
 }
 

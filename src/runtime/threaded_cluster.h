@@ -5,16 +5,22 @@
 // delivery serialization plus this mutex give the paper's atomic-step
 // property even when the application thread issues requests concurrently
 // with message deliveries.
+//
+// Capability model (DESIGN.md section 7.2): Cell::mutex guards the hosted
+// BasicProcess (every touch of the process happens under it, whether from
+// the application thread, a transport deliverer, or a timer callback --
+// LockingTimerService re-takes it around scheduled callbacks); detect_mutex_
+// guards the detection log.  Lock order where they nest: Cell::mutex before
+// detect_mutex_ (the deadlock callback runs inside on_message).
 #pragma once
 
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/basic_process.h"
 #include "net/transport.h"
 
@@ -35,11 +41,11 @@ class ThreadTimerService final : public core::TimerService {
  private:
   void loop();
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  Mutex mutex_;
+  CondVar cv_;
   std::multimap<std::chrono::steady_clock::time_point, std::function<void()>>
-      pending_;
-  bool stopping_{false};
+      pending_ CMH_GUARDED_BY(mutex_);
+  bool stopping_ CMH_GUARDED_BY(mutex_){false};
   std::thread worker_;
 };
 
@@ -79,19 +85,21 @@ class ThreadedCluster {
 
  private:
   struct Cell {
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
     std::unique_ptr<core::TimerService> timer_adapter;
-    std::unique_ptr<core::BasicProcess> process;
+    // The pointer is set once during construction (pre-concurrency); the
+    // pointee is the per-process critical state.
+    std::unique_ptr<core::BasicProcess> process CMH_PT_GUARDED_BY(mutex);
   };
 
   net::Transport& transport_;
   ThreadTimerService timers_;
   std::vector<std::unique_ptr<Cell>> cells_;
 
-  mutable std::mutex detect_mutex_;
-  std::condition_variable detect_cv_;
-  std::vector<ProcessId> detections_;
-  bool stopped_{false};
+  mutable Mutex detect_mutex_;
+  CondVar detect_cv_;
+  std::vector<ProcessId> detections_ CMH_GUARDED_BY(detect_mutex_);
+  bool stopped_ CMH_GUARDED_BY(detect_mutex_){false};
 };
 
 }  // namespace cmh::runtime

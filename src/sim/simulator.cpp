@@ -418,7 +418,7 @@ void Simulator::run_parallel(SimTime limit) {
   compute_next_window();
   if (!win_done_) {
     {
-      std::lock_guard<std::mutex> lk(pool_mutex_);
+      const MutexLock lk(pool_mutex_);
       parallel_active_ = true;
       ++job_gen_;
       jobs_done_ = 0;
@@ -426,8 +426,11 @@ void Simulator::run_parallel(SimTime limit) {
     pool_cv_.notify_all();
     window_loop(0);  // the caller participates as shard 0
     {
-      std::unique_lock<std::mutex> lk(pool_mutex_);
-      pool_done_cv_.wait(lk, [&] { return jobs_done_ == shard_count_ - 1; });
+      const MutexLock lk(pool_mutex_);
+      pool_done_cv_.wait(pool_mutex_, [&] {
+        pool_mutex_.assert_held();  // held by CondVar::wait's contract
+        return jobs_done_ == shard_count_ - 1;
+      });
       parallel_active_ = false;
     }
   }
@@ -458,7 +461,7 @@ void Simulator::start_pool() {
 void Simulator::stop_pool() {
   if (pool_.empty()) return;
   {
-    std::lock_guard<std::mutex> lk(pool_mutex_);
+    const MutexLock lk(pool_mutex_);
     pool_quit_ = true;
   }
   pool_cv_.notify_all();
@@ -470,14 +473,17 @@ void Simulator::parallel_worker(std::uint32_t shard_idx) {
   std::uint64_t seen_gen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(pool_mutex_);
-      pool_cv_.wait(lk, [&] { return pool_quit_ || job_gen_ != seen_gen; });
+      const MutexLock lk(pool_mutex_);
+      pool_cv_.wait(pool_mutex_, [&] {
+        pool_mutex_.assert_held();  // held by CondVar::wait's contract
+        return pool_quit_ || job_gen_ != seen_gen;
+      });
       if (pool_quit_) return;
       seen_gen = job_gen_;
     }
     window_loop(shard_idx);
     {
-      std::lock_guard<std::mutex> lk(pool_mutex_);
+      const MutexLock lk(pool_mutex_);
       ++jobs_done_;
     }
     pool_done_cv_.notify_one();

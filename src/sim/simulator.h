@@ -50,16 +50,15 @@
 
 #include <atomic>
 #include <barrier>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/serialize.h"
+#include "common/sync.h"
 #include "common/time.h"
 #include "sim/event_queue.h"
 
@@ -289,24 +288,36 @@ class Simulator {
   std::size_t channel_stride_{0};
 
   // ---- parallel runtime ----------------------------------------------------
+  // Ownership-transfer fields (no mutex; see DESIGN.md section 7.2): these
+  // are synchronized by the window protocol itself, which the thread-safety
+  // analysis cannot model, so each carries a CMH_GUARDED_BY_PROTOCOL marker
+  // stating the handoff instead of a capability.
+  //
   // Outboxes, indexed src_shard * K + dst_shard.  A cell is written only by
   // the src worker during the processing phase and drained only by the dst
   // worker after the barrier, so the barrier provides all synchronization.
-  std::vector<std::vector<CrossMsg>> outbox_;
-  bool parallel_active_{false};
-  std::int64_t job_limit_{INT64_MAX};
-  std::int64_t win_end_{0};
-  bool win_done_{false};
+  std::vector<std::vector<CrossMsg>> outbox_
+      CMH_GUARDED_BY_PROTOCOL("drain_bar_: src writes phase-before dst reads");
+  // Written by compute_next_window() on exactly one thread while every
+  // worker is parked at window_bar_; workers read them only after crossing
+  // that barrier.
+  std::int64_t job_limit_ CMH_GUARDED_BY_PROTOCOL("window_bar_"){INT64_MAX};
+  std::int64_t win_end_ CMH_GUARDED_BY_PROTOCOL("window_bar_"){0};
+  bool win_done_ CMH_GUARDED_BY_PROTOCOL("window_bar_"){false};
   std::atomic<bool> abort_{false};
+  // Atomic because shard workers consult it inside send() (shard-affinity
+  // check) without taking pool_mutex_; the pool condvar handshake publishes
+  // the store that matters before any worker runs.
+  std::atomic<bool> parallel_active_{false};
   std::unique_ptr<std::barrier<WindowCompletion>> window_bar_;
   std::unique_ptr<std::barrier<>> drain_bar_;
   std::vector<std::thread> pool_;
-  std::mutex pool_mutex_;
-  std::condition_variable pool_cv_;
-  std::condition_variable pool_done_cv_;
-  std::uint64_t job_gen_{0};
-  std::uint32_t jobs_done_{0};
-  bool pool_quit_{false};
+  Mutex pool_mutex_;
+  CondVar pool_cv_;
+  CondVar pool_done_cv_;
+  std::uint64_t job_gen_ CMH_GUARDED_BY(pool_mutex_){0};
+  std::uint32_t jobs_done_ CMH_GUARDED_BY(pool_mutex_){0};
+  bool pool_quit_ CMH_GUARDED_BY(pool_mutex_){false};
 
   mutable SimStats stats_agg_;
 };

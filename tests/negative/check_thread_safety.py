@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Negative-compile driver for the thread-safety annotation suite.
+
+Each case file in this directory declares its own verdict in a header
+comment:
+
+  // expect: <regex>   compilation must FAIL and stderr must match <regex>
+  // expect-clean      compilation must SUCCEED with no diagnostics
+
+Cases are compiled with Clang's analysis turned all the way up
+(-fsyntax-only -Wthread-safety -Wthread-safety-beta -Werror), mirroring the
+CI thread-safety job.  A negative case that *compiles* means the annotation
+it exercises has stopped biting -- the suite exists to catch exactly that
+regression.
+
+Usage: check_thread_safety.py --compiler clang++ --include SRC_DIR CASE...
+Exit status: 0 all cases behave as declared, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+EXPECT_RE = re.compile(r"^//\s*expect:\s*(.+?)\s*$", re.MULTILINE)
+EXPECT_CLEAN_RE = re.compile(r"^//\s*expect-clean\s*$", re.MULTILINE)
+
+FLAGS = [
+    "-std=c++20",
+    "-fsyntax-only",
+    "-Wthread-safety",
+    "-Wthread-safety-beta",
+    "-Werror",
+]
+
+
+def run_case(compiler: str, include: str, case: pathlib.Path) -> str | None:
+    """Returns None on success, else a failure description."""
+    text = case.read_text(encoding="utf-8")
+    expect = EXPECT_RE.search(text)
+    clean = EXPECT_CLEAN_RE.search(text)
+    if bool(expect) == bool(clean):
+        return "case must declare exactly one of '// expect:' / '// expect-clean'"
+
+    proc = subprocess.run(
+        [compiler, *FLAGS, "-I", include, str(case)],
+        capture_output=True, text=True)
+    diagnostics = proc.stderr.strip()
+
+    if clean:
+        if proc.returncode != 0:
+            return f"expected clean compile, got:\n{diagnostics}"
+        return None
+
+    pattern = expect.group(1)
+    if proc.returncode == 0:
+        return (f"expected compile failure matching /{pattern}/, "
+                "but the case compiled -- the annotation no longer bites")
+    if not re.search(pattern, diagnostics):
+        return (f"compile failed, but not with /{pattern}/; stderr was:\n"
+                f"{diagnostics}")
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compiler", required=True,
+                        help="Clang-family C++ compiler to test with")
+    parser.add_argument("--include", required=True,
+                        help="include root holding common/sync.h")
+    parser.add_argument("cases", nargs="+", type=pathlib.Path)
+    args = parser.parse_args()
+
+    failures = 0
+    for case in args.cases:
+        error = run_case(args.compiler, args.include, case)
+        if error is None:
+            print(f"PASS {case.name}")
+        else:
+            failures += 1
+            print(f"FAIL {case.name}: {error}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

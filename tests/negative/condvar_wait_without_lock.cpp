@@ -1,0 +1,22 @@
+// Negative-compile case: waiting on a CondVar without holding the guarding
+// mutex.  CondVar::wait carries CMH_REQUIRES(mu), so this must be rejected.
+// expect: calling function 'wait' requires holding mutex 'mu_' exclusively
+#include "common/sync.h"
+
+namespace {
+
+class Queue {
+ public:
+  void broken_wait() { cv_.wait(mu_); }  // mutex never taken
+
+ private:
+  cmh::Mutex mu_;
+  cmh::CondVar cv_;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.broken_wait();
+}

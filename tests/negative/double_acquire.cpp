@@ -1,0 +1,10 @@
+// Negative-compile case: acquiring a mutex that is already held (self
+// deadlock on the non-recursive Mutex).  Must be rejected by -Wthread-safety.
+// expect: acquiring mutex 'mu' that is already held
+#include "common/sync.h"
+
+int main() {
+  cmh::Mutex mu;
+  const cmh::MutexLock outer(mu);
+  const cmh::MutexLock inner(mu);  // second acquisition of the same capability
+}

@@ -1,0 +1,27 @@
+// Negative-compile case: calling a CMH_EXCLUDES function while holding the
+// excluded mutex (would self-deadlock at runtime).  Must be rejected by
+// -Wthread-safety.
+// expect: cannot call function 'reacquire' while mutex 'mu_' is held
+#include "common/sync.h"
+
+namespace {
+
+class Widget {
+ public:
+  void reacquire() CMH_EXCLUDES(mu_) { const cmh::MutexLock lock(mu_); }
+
+  void broken_nested_call() {
+    const cmh::MutexLock lock(mu_);
+    reacquire();  // takes mu_ again underneath us
+  }
+
+ private:
+  cmh::Mutex mu_;
+};
+
+}  // namespace
+
+int main() {
+  Widget w;
+  w.broken_nested_call();
+}

@@ -1,0 +1,24 @@
+// Negative-compile case: calling a CMH_REQUIRES function without holding the
+// required mutex.  Must be rejected by -Wthread-safety.
+// expect: calling function 'bump_locked' requires holding mutex 'mu_' exclusively
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_locked() CMH_REQUIRES(mu_) { ++value_; }
+
+  void broken_bump() { bump_locked(); }  // capability never acquired
+
+ private:
+  cmh::Mutex mu_;
+  int value_ CMH_GUARDED_BY(mu_){0};
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.broken_bump();
+}

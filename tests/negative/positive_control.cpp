@@ -1,0 +1,50 @@
+// Positive control: disciplined use of every primitive the negative cases
+// abuse.  Must compile *clean* under the exact flags the negative cases fail
+// under -- proving those failures come from the defects, not the harness.
+// expect-clean
+#include "common/sync.h"
+
+namespace {
+
+class Channel {
+ public:
+  void push(int v) {
+    const cmh::MutexLock lock(mu_);
+    value_ = v;
+    has_value_ = true;
+    cv_.notify_all();
+  }
+
+  int pop() {
+    const cmh::MutexLock lock(mu_);
+    cv_.wait(mu_, [this] {
+      mu_.assert_held();  // held by CondVar::wait's contract
+      return has_value_;
+    });
+    has_value_ = false;
+    return value_;
+  }
+
+  void clear_locked() CMH_REQUIRES(mu_) { has_value_ = false; }
+
+  void clear() CMH_EXCLUDES(mu_) {
+    const cmh::MutexLock lock(mu_);
+    clear_locked();
+  }
+
+ private:
+  cmh::Mutex mu_;
+  cmh::CondVar cv_;
+  int value_ CMH_GUARDED_BY(mu_){0};
+  bool has_value_ CMH_GUARDED_BY(mu_){false};
+};
+
+}  // namespace
+
+int main() {
+  Channel ch;
+  ch.push(42);
+  const int got = ch.pop();
+  ch.clear();
+  return got == 42 ? 0 : 1;
+}

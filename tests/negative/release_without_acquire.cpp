@@ -1,0 +1,18 @@
+// Negative-compile case: releasing a mutex the caller never acquired.  Must
+// be rejected by -Wthread-safety.  (The manual unlock() is the point of the
+// test; the repo lint would otherwise ban it.)
+// expect: releasing mutex 'mu' that was not held
+#include "common/sync.h"
+
+namespace {
+
+void broken_release(cmh::Mutex& mu) {
+  mu.unlock();  // lint:allow(raw-sync)
+}
+
+}  // namespace
+
+int main() {
+  cmh::Mutex mu;
+  broken_release(mu);
+}

@@ -1,0 +1,22 @@
+// Negative-compile case: writing a CMH_GUARDED_BY field without holding the
+// guarding mutex.  Must be rejected by -Wthread-safety.
+// expect: writing variable 'value_' requires holding mutex 'mu_' exclusively
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void broken_increment() { ++value_; }  // no lock held
+
+ private:
+  cmh::Mutex mu_;
+  int value_ CMH_GUARDED_BY(mu_){0};
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.broken_increment();
+}

@@ -4,10 +4,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace cmh::net {
 namespace {
@@ -19,26 +19,29 @@ class Collector {
  public:
   Transport::Handler handler() {
     return [this](NodeId from, const Bytes& payload) {
-      std::scoped_lock lock(mutex_);
+      const MutexLock lock(mutex_);
       items_.emplace_back(from, payload);
       cv_.notify_all();
     };
   }
 
   bool wait_for(std::size_t n, std::chrono::milliseconds max = 2000ms) {
-    std::unique_lock lock(mutex_);
-    return cv_.wait_for(lock, max, [&] { return items_.size() >= n; });
+    const MutexLock lock(mutex_);
+    return cv_.wait_for(mutex_, max, [&] {
+      mutex_.assert_held();  // held by CondVar::wait's contract
+      return items_.size() >= n;
+    });
   }
 
   std::vector<std::pair<NodeId, Bytes>> items() {
-    std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     return items_;
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<std::pair<NodeId, Bytes>> items_;
+  Mutex mutex_;
+  CondVar cv_;
+  std::vector<std::pair<NodeId, Bytes>> items_ CMH_GUARDED_BY(mutex_);
 };
 
 TEST(InMemoryTransport, DeliversMessage) {
@@ -142,6 +145,18 @@ TEST(InMemoryTransport, AddNodeAfterStartRejected) {
   t.add_node({});
   t.start();
   EXPECT_THROW(t.add_node({}), std::logic_error);
+  t.stop();
+}
+
+// Handlers are read by the delivery threads without a lock, which is only
+// sound while the handler set is frozen -- swapping one mid-flight was a
+// data race the thread-safety annotation pass surfaced.
+TEST(InMemoryTransport, SetHandlerAfterStartRejected) {
+  InMemoryTransport t;
+  const NodeId a = t.add_node({});
+  t.set_handler(a, {});  // fine before start
+  t.start();
+  EXPECT_THROW(t.set_handler(a, {}), std::logic_error);
   t.stop();
 }
 

@@ -16,6 +16,15 @@ Rules (each can be silenced on a single line with `// lint:allow(<rule>)`):
   transport-bytesview transport send surfaces take BytesView, never
                       `const Bytes&`: senders must accept stack frames
                       without forcing a heap copy at the boundary.
+  raw-sync            std::mutex / std::condition_variable / the std lock
+                      adapters (scoped_lock, lock_guard, unique_lock, ...)
+                      and manual .lock()/.unlock() calls are banned outside
+                      src/common/sync.h.  Everything else goes through the
+                      annotated Mutex / MutexLock / CondVar wrappers so the
+                      Clang thread-safety analysis sees every acquisition;
+                      a raw std primitive is a hole in the proof.
+
+All .h/.cpp files under src/, tests/ and bench/ are scanned.
 
 Usage: tools/lint_repo.py [--root DIR]
 Exit status: 0 clean, 1 findings (printed as path:line: [rule] message).
@@ -39,6 +48,26 @@ REINTERPRET_RE = re.compile(r"\breinterpret_cast\b")
 # A declaration line of a send-like function taking a borrowed Bytes:
 # matches `send(`, `send_frame(` etc. followed (same line) by `const Bytes&`.
 SEND_BYTES_RE = re.compile(r"\b\w*send\w*\s*\([^)]*const\s+Bytes\s*&")
+
+# The raw C++ synchronization vocabulary.  Only src/common/sync.h may use
+# these; everyone else holds capabilities through the annotated wrappers.
+RAW_SYNC_TYPE_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex"
+    r"|condition_variable|condition_variable_any"
+    r"|scoped_lock|lock_guard|unique_lock|shared_lock)\b"
+)
+RAW_SYNC_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>"
+)
+# Manual lock management defeats scope-based release and, on the annotated
+# Mutex, forces callers to spell ACQUIRE/RELEASE by hand; require MutexLock.
+# Nullary calls only: the ddb lock manager's lock(txn, resource, mode) is the
+# *modeled* resource lock, not thread synchronization.
+MANUAL_LOCK_RE = re.compile(r"(?:\.|->)\s*(?:try_)?(?:un)?lock\s*\(\s*\)")
+
+# The one file allowed to touch the raw primitives (it wraps them).
+SYNC_SHIM = pathlib.PurePosixPath("src/common/sync.h")
 
 
 def strip_comments(lines: list[str]) -> list[str]:
@@ -69,7 +98,8 @@ def strip_comments(lines: list[str]) -> list[str]:
 
 
 class Linter:
-    def __init__(self) -> None:
+    def __init__(self, root: pathlib.Path) -> None:
+        self.root = root
         self.findings: list[tuple[pathlib.Path, int, str, str]] = []
 
     def report(self, path: pathlib.Path, line_no: int, rule: str,
@@ -87,6 +117,8 @@ class Linter:
         code = strip_comments(raw)
         head = "\n".join(raw[:15])
         hot_path = HOT_PATH_MARKER in head
+        rel = pathlib.PurePosixPath(path.relative_to(self.root).as_posix())
+        is_sync_shim = rel == SYNC_SHIM
 
         if path.suffix == ".h" and not any("#pragma once" in l for l in raw):
             self.report(path, 1, "pragma-once",
@@ -114,6 +146,19 @@ class Linter:
                             "send surface takes `const Bytes&`; accept "
                             "BytesView so stack frames pass without a copy",
                             raw_line, prev)
+            if not is_sync_shim:
+                if (RAW_SYNC_TYPE_RE.search(code_line)
+                        or RAW_SYNC_INCLUDE_RE.search(code_line)):
+                    self.report(path, i, "raw-sync",
+                                "raw std synchronization primitive; use "
+                                "Mutex/MutexLock/CondVar from common/sync.h "
+                                "so the thread-safety analysis sees it",
+                                raw_line, prev)
+                if MANUAL_LOCK_RE.search(code_line):
+                    self.report(path, i, "raw-sync",
+                                "manual lock()/unlock() call; hold the "
+                                "mutex through a scoped MutexLock instead",
+                                raw_line, prev)
 
 
 def main() -> int:
@@ -128,10 +173,13 @@ def main() -> int:
         print(f"lint_repo: no src/ under {root}", file=sys.stderr)
         return 2
 
-    linter = Linter()
-    for path in sorted(src.rglob("*")):
-        if path.suffix in (".h", ".cpp"):
-            linter.lint_file(path)
+    linter = Linter(root)
+    roots = [src] + [d for d in (root / "tests", root / "bench")
+                     if d.is_dir()]
+    for tree in roots:
+        for path in sorted(tree.rglob("*")):
+            if path.suffix in (".h", ".cpp"):
+                linter.lint_file(path)
 
     for path, line_no, rule, message in linter.findings:
         rel = path.relative_to(root)
