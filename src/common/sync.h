@@ -119,12 +119,8 @@ class CondVar {
   void notify_all() { cv_.notify_all(); }
 
   void wait(Mutex& mu) CMH_REQUIRES(mu) {
-    // Adopt the caller's hold for the duration of the wait, then release
-    // ownership again so the std lock's destructor does not double-unlock.
-    std::unique_lock<std::mutex> ul(mu.mu_,        // lint:allow(raw-sync)
-                                    std::adopt_lock);
-    cv_.wait(ul);
-    ul.release();
+    AdoptedLock al(mu);
+    cv_.wait(al.ul);
   }
 
   template <typename Pred>
@@ -138,11 +134,9 @@ class CondVar {
                   const std::chrono::time_point<Clock, Duration>& deadline,
                   Pred pred) CMH_REQUIRES(mu) {
     while (!pred()) {
-      std::unique_lock<std::mutex> ul(mu.mu_,      // lint:allow(raw-sync)
-                                      std::adopt_lock);
-      const std::cv_status status = cv_.wait_until(ul, deadline);
-      ul.release();
-      if (status == std::cv_status::timeout) return pred();
+      AdoptedLock al(mu);
+      if (cv_.wait_until(al.ul, deadline) == std::cv_status::timeout)
+        return pred();
     }
     return true;
   }
@@ -156,6 +150,18 @@ class CondVar {
   }
 
  private:
+  // Adopts the caller's hold on mu for the duration of a std wait and hands
+  // ownership back on every exit path -- including a throwing wait -- so
+  // neither the std lock nor the caller's MutexLock double-unlocks.
+  struct AdoptedLock {
+    explicit AdoptedLock(Mutex& mu)
+        : ul(mu.mu_, std::adopt_lock) {}  // lint:allow(raw-sync)
+    ~AdoptedLock() { ul.release(); }
+    AdoptedLock(const AdoptedLock&) = delete;
+    AdoptedLock& operator=(const AdoptedLock&) = delete;
+    std::unique_lock<std::mutex> ul;  // lint:allow(raw-sync)
+  };
+
   std::condition_variable cv_;  // lint:allow(raw-sync)
 };
 

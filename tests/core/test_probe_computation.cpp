@@ -34,7 +34,9 @@ TEST_P(SimRingTest, OnRequestModeDetectsPlantedRing) {
   SimCluster cluster(n, core::Options{}, seed);
   runtime::issue_scenario(cluster, graph::make_ring(n, len));
   ASSERT_TRUE(cluster.run_until_detection());
-  const auto& d = cluster.detections().front();
+  // detections() returns a snapshot by value; copy the element rather than
+  // binding a reference into the temporary vector.
+  const auto d = cluster.detections().front();
   // QRP2 against the oracle at (or after) declaration: the declarer is
   // genuinely on a dark cycle.
   EXPECT_TRUE(cluster.oracle().on_dark_cycle(d.process));
