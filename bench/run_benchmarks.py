@@ -47,10 +47,12 @@ import sys
 SUITES = {
     "micro": "bench_micro",
     "sim": "bench_sim",
+    "net": "bench_net",
 }
 
 # Benchmarks whose regressions gate CI (prefix match).  These are the ones
-# dominated by the hot paths PR 1 and the sharded-engine PR optimized; the
+# dominated by the hot paths PR 1 and the sharded-engine PR optimized, plus
+# the epoll transport's small-frame throughput (the event-loop PR); the
 # macro detection-wave numbers are tracked but too workload-shaped to gate.
 DEFAULT_HOT = [
     "BM_SimMessageChurn",
@@ -58,6 +60,7 @@ DEFAULT_HOT = [
     "BM_SimTimerStorm",
     "BM_EncodeProbe",
     "BM_DecodeProbe",
+    "BM_NetEpollTcpSmallFrames",
 ]
 
 

@@ -1,0 +1,358 @@
+#include "net/blocking_tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logging.h"
+
+namespace cmh::net {
+
+namespace {
+
+// Reads exactly `len` bytes; returns false on error/EOF.  Each successful
+// ::read is tallied into `syscalls` for the coalescing comparison.
+bool read_all(int fd, void* buf, std::size_t len,
+              std::atomic<std::uint64_t>& syscalls) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    syscalls.fetch_add(1, std::memory_order_relaxed);
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// One frame, one vectored write: the 4-byte prefix and the payload share a
+// single sendmsg() (partial writes advance through both iovecs).
+// MSG_NOSIGNAL: a peer that disconnected mid-frame must surface as EPIPE on
+// this call, not as a process-killing SIGPIPE.
+bool BlockingTcpTransport::send_frame(int fd, BytesView payload) {
+  std::uint8_t prefix[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  prefix[0] = static_cast<std::uint8_t>(len >> 24);
+  prefix[1] = static_cast<std::uint8_t>(len >> 16);
+  prefix[2] = static_cast<std::uint8_t>(len >> 8);
+  prefix[3] = static_cast<std::uint8_t>(len);
+
+  const std::size_t total = sizeof(prefix) + payload.size();
+  std::size_t done = 0;
+  while (done < total) {
+    iovec iov[2];
+    std::size_t cnt = 0;
+    if (done < sizeof(prefix)) {
+      iov[cnt].iov_base = prefix + done;
+      iov[cnt].iov_len = sizeof(prefix) - done;
+      ++cnt;
+      if (!payload.empty()) {
+        // iovec's iov_base is non-const by API shape; sendmsg only reads it.
+        iov[cnt].iov_base = const_cast<std::uint8_t*>(payload.data());
+        iov[cnt].iov_len = payload.size();
+        ++cnt;
+      }
+    } else {
+      const std::size_t off = done - sizeof(prefix);
+      iov[cnt].iov_base = const_cast<std::uint8_t*>(payload.data()) + off;
+      iov[cnt].iov_len = payload.size() - off;
+      ++cnt;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = cnt;
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    write_syscalls_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+    done += static_cast<std::size_t>(n);
+  }
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool BlockingTcpTransport::recv_frame(int fd, Bytes& payload) {
+  std::uint32_t len = 0;
+  if (!read_all(fd, &len, sizeof(len), read_syscalls_)) return false;
+  len = ntohl(len);
+  if (len > kMaxFrameBytes) return false;  // stream corruption
+  payload.resize(len);
+  return len == 0 || read_all(fd, payload.data(), len, read_syscalls_);
+}
+
+// Dials the destination's listener and performs the identity handshake.
+// Pure function of (src_id, dst_port): the caller resolves both under
+// nodes_mutex_, so this helper needs no capability at all.
+int BlockingTcpTransport::connect_to(NodeId src_id, std::uint16_t dst_port) {
+  connect_attempts_.fetch_add(1, std::memory_order_relaxed);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(dst_port);
+  // lint:allow(no-reinterpret-cast) -- the sockaddr cast the BSD API demands
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  Bytes hello(sizeof(NodeId));
+  std::memcpy(hello.data(), &src_id, sizeof(src_id));
+  if (!send_frame(fd, hello)) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+NodeId BlockingTcpTransport::add_node(Handler handler) {
+  const MutexLock lock(nodes_mutex_);
+  if (started_) {
+    throw std::logic_error("BlockingTcpTransport: add_node after start()");
+  }
+  auto node = std::make_unique<Node>();
+  node->handler = std::move(handler);
+  node->id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void BlockingTcpTransport::set_handler(NodeId node, Handler handler) {
+  const MutexLock lock(nodes_mutex_);
+  if (started_) {
+    // The deliverer threads read handlers without a lock (frozen-after-start
+    // protocol); replacing one mid-flight would race with delivery.
+    throw std::logic_error("BlockingTcpTransport: set_handler after start()");
+  }
+  nodes_.at(node)->handler = std::move(handler);
+}
+
+std::uint16_t BlockingTcpTransport::port(NodeId node) const {
+  const MutexLock lock(nodes_mutex_);
+  return nodes_.at(node)->port;
+}
+
+std::vector<BlockingTcpTransport::Node*> BlockingTcpTransport::snapshot_nodes()
+    const {
+  const MutexLock lock(nodes_mutex_);
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(node.get());
+  return out;
+}
+
+void BlockingTcpTransport::start() {
+  const MutexLock lock(nodes_mutex_);
+  if (started_) return;
+  stopping_ = false;
+
+  for (auto& node : nodes_) {
+    {
+      const MutexLock out_lock(node->out_mutex);
+      node->out_fds.assign(nodes_.size(), -1);
+    }
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("BlockingTcpTransport: socket() failed");
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // let the OS pick
+    // lint:allow(no-reinterpret-cast) -- the sockaddr cast the BSD API demands
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      throw std::runtime_error("BlockingTcpTransport: bind() failed");
+    }
+    if (::listen(fd, 64) != 0) {
+      ::close(fd);
+      throw std::runtime_error("BlockingTcpTransport: listen() failed");
+    }
+    socklen_t len = sizeof(addr);
+    // lint:allow(no-reinterpret-cast) -- the sockaddr cast the BSD API demands
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    node->listen_fd = fd;
+    node->port = ntohs(addr.sin_port);
+  }
+
+  for (auto& node : nodes_) {
+    node->acceptor = std::thread([this, n = node.get()] { acceptor_loop(*n); });
+    node->deliverer =
+        std::thread([this, n = node.get()] { deliverer_loop(*n); });
+  }
+  started_ = true;
+}
+
+void BlockingTcpTransport::stop() {
+  if (!started_.exchange(false)) return;
+  stopping_ = true;
+
+  // Everything below runs on a registry snapshot: nodes_mutex_ must not be
+  // held while node-level locks are taken (send() orders nodes_mutex_ before
+  // out_mutex, so nesting them here would be the historic lock-order
+  // inversion TSan flagged) nor while joining threads whose handlers may be
+  // inside send().
+  const std::vector<Node*> nodes = snapshot_nodes();
+
+  // Close sockets: the listening sockets unblock the acceptors, the data
+  // sockets unblock the readers.
+  for (Node* node : nodes) {
+    const int listen_fd = node->listen_fd.exchange(-1);
+    if (listen_fd >= 0) {
+      ::shutdown(listen_fd, SHUT_RDWR);
+      ::close(listen_fd);
+    }
+    const MutexLock out_lock(node->out_mutex);
+    for (int& fd : node->out_fds) {
+      if (fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+        fd = -1;
+      }
+    }
+  }
+  for (Node* node : nodes) {
+    if (node->acceptor.joinable()) node->acceptor.join();
+    const MutexLock readers_lock(node->readers_mutex);
+    for (auto& t : node->readers) {
+      if (t.joinable()) t.join();
+    }
+    node->readers.clear();
+  }
+  for (Node* node : nodes) {
+    // Take the mail mutex before notifying so a deliverer between its
+    // predicate check and wait() cannot miss the wakeup.
+    { const MutexLock lock(node->mail_mutex); }
+    node->mail_cv.notify_all();
+    if (node->deliverer.joinable()) node->deliverer.join();
+  }
+}
+
+void BlockingTcpTransport::acceptor_loop(Node& node) {
+  for (;;) {
+    const int listen_fd = node.listen_fd.load();
+    if (listen_fd < 0) return;  // stop() already closed the listener
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed during stop()
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const MutexLock lock(node.readers_mutex);
+    node.readers.emplace_back([this, &node, fd] { reader_loop(node, fd); });
+  }
+}
+
+void BlockingTcpTransport::reader_loop(Node& node, int fd) {
+  // Handshake: first frame is the sender's node id.
+  Bytes hello;
+  NodeId from = 0;
+  if (!recv_frame(fd, hello) || hello.size() != sizeof(NodeId)) {
+    ::close(fd);
+    return;
+  }
+  std::memcpy(&from, hello.data(), sizeof(from));
+
+  Bytes payload;
+  while (recv_frame(fd, payload)) {
+    {
+      const MutexLock lock(node.mail_mutex);
+      node.mailbox.emplace_back(from, std::move(payload));
+      payload = Bytes{};
+    }
+    node.mail_cv.notify_one();
+  }
+  ::close(fd);
+}
+
+void BlockingTcpTransport::deliverer_loop(Node& node) {
+  for (;;) {
+    std::pair<NodeId, Bytes> mail;
+    {
+      const MutexLock lock(node.mail_mutex);
+      node.mail_cv.wait(node.mail_mutex, [&] {
+        // Held by CondVar::wait's contract; the analysis cannot see through
+        // the predicate lambda boundary.
+        node.mail_mutex.assert_held();
+        return stopping_.load() || !node.mailbox.empty();
+      });
+      if (node.mailbox.empty()) return;
+      mail = std::move(node.mailbox.front());
+      node.mailbox.pop_front();
+    }
+    if (node.handler) node.handler(mail.first, mail.second);
+    frames_delivered_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void BlockingTcpTransport::send(NodeId from, NodeId to, BytesView payload) {
+  if (stopping_) return;  // shutting down; drops are acceptable
+  Node* src = nullptr;
+  std::uint16_t dst_port = 0;
+  {
+    const MutexLock lock(nodes_mutex_);
+    src = nodes_.at(from).get();
+    if (to >= nodes_.size()) {
+      throw std::out_of_range("BlockingTcpTransport::send: unknown destination");
+    }
+    // Resolve the destination port here, under the registry lock, so the
+    // dial below never reads the registry while holding out_mutex (that
+    // nesting is the lock-order inversion stop() used to have).
+    dst_port = nodes_[to]->port;
+  }
+  frames_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  // Per-destination connection established lazily; the out_mutex also
+  // serializes concurrent senders on the same channel, preserving frame
+  // atomicity and FIFO.
+  const MutexLock lock(src->out_mutex);
+  if (stopping_) return;
+  int& fd = src->out_fds.at(to);
+  if (fd < 0) fd = connect_to(src->id, dst_port);
+  if (fd < 0) {
+    frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    CMH_LOG(kWarn, "tcp") << "connect to node " << to << " failed";
+    return;
+  }
+  if (!send_frame(fd, payload)) {
+    ::close(fd);
+    fd = -1;
+    frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    CMH_LOG(kWarn, "tcp") << "send to node " << to << " failed";
+  }
+}
+
+TransportIoStats BlockingTcpTransport::io_stats() const {
+  TransportIoStats s;
+  s.frames_enqueued = frames_enqueued_.load(std::memory_order_relaxed);
+  s.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  s.frames_dropped = frames_dropped_.load(std::memory_order_relaxed);
+  s.frames_delivered = frames_delivered_.load(std::memory_order_relaxed);
+  s.write_syscalls = write_syscalls_.load(std::memory_order_relaxed);
+  s.read_syscalls = read_syscalls_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.connect_attempts = connect_attempts_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace cmh::net

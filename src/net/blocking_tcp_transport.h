@@ -1,0 +1,114 @@
+// Thread-per-connection localhost TCP transport (the pre-event-loop design).
+//
+// Kept as the baseline the epoll TcpTransport is benchmarked against
+// (bench_t6_transports, bench_net): one acceptor + one reader thread per
+// connection, blocking sockets, and socket writes performed on the caller
+// thread under the channel lock.  Framing is the same wire format as
+// TcpTransport -- 4-byte big-endian length prefix, handshake frame first --
+// and the prefix and payload of each frame go out in a single sendmsg()
+// (two iovecs), so the comparison measures the architecture, not a
+// two-syscalls-per-frame handicap.
+//
+// Capability model (DESIGN.md section 7.2): the node registry is guarded by
+// nodes_mutex_ and frozen at start(); each node carries three independent
+// capabilities -- readers_mutex (acceptor-side thread list), out_mutex
+// (sender-side connection cache) and mail_mutex (delivery mailbox).  No two
+// node-level mutexes are ever nested; registry lookups copy what they need
+// out from under nodes_mutex_ before taking a node-level lock, which is what
+// rules out the historic stop()/send() lock-order inversion by construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "net/transport.h"
+
+namespace cmh::net {
+
+class BlockingTcpTransport final : public Transport {
+ public:
+  /// Ports are allocated by the OS (bind to port 0); peers learn each
+  /// other's ports through the shared registry inside this object, which
+  /// stands in for out-of-band configuration in a real deployment.
+  BlockingTcpTransport() = default;
+  ~BlockingTcpTransport() override { stop(); }
+
+  BlockingTcpTransport(const BlockingTcpTransport&) = delete;
+  BlockingTcpTransport& operator=(const BlockingTcpTransport&) = delete;
+
+  NodeId add_node(Handler handler) override;
+  /// Rejected after start(): the deliverer threads read node handlers
+  /// without a lock, which is only sound while the handler set is frozen.
+  void set_handler(NodeId node, Handler handler) override;
+  void send(NodeId from, NodeId to, BytesView payload) override;
+  void start() override;
+  void stop() override;
+
+  /// Port the given node listens on (valid after start()).
+  [[nodiscard]] std::uint16_t port(NodeId node) const;
+
+  /// Aggregate I/O counters (relaxed snapshot).
+  [[nodiscard]] TransportIoStats io_stats() const;
+
+ private:
+  struct Node {
+    // handler/id/port are written only before the worker threads exist
+    // (add_node / start(), pre-publication) and are immutable afterwards;
+    // the thread creation in start() publishes them to the workers.
+    Handler handler;
+    NodeId id{0};
+    std::uint16_t port{0};
+    // Atomic: stop() closes it while the acceptor thread is reading it.
+    std::atomic<int> listen_fd{-1};
+    std::thread acceptor;
+
+    Mutex readers_mutex;
+    std::vector<std::thread> readers CMH_GUARDED_BY(readers_mutex);
+
+    // Outbound connections, keyed by destination node.
+    Mutex out_mutex;
+    std::vector<int> out_fds CMH_GUARDED_BY(out_mutex);  // -1 = none
+
+    // Inbound delivery mailbox (serializes handler execution).
+    Mutex mail_mutex;
+    CondVar mail_cv;
+    std::deque<std::pair<NodeId, Bytes>> mailbox CMH_GUARDED_BY(mail_mutex);
+    std::thread deliverer;
+  };
+
+  void acceptor_loop(Node& node);
+  void reader_loop(Node& node, int fd);
+  void deliverer_loop(Node& node);
+  bool send_frame(int fd, BytesView payload);
+  bool recv_frame(int fd, Bytes& payload);
+  int connect_to(NodeId src_id, std::uint16_t dst_port);
+
+  /// Registry snapshot for the phases that must not hold nodes_mutex_ while
+  /// taking node-level locks or joining threads (handlers may be inside
+  /// send(), which takes nodes_mutex_).
+  [[nodiscard]] std::vector<Node*> snapshot_nodes() const
+      CMH_EXCLUDES(nodes_mutex_);
+
+  mutable Mutex nodes_mutex_;
+  std::vector<std::unique_ptr<Node>> nodes_ CMH_GUARDED_BY(nodes_mutex_);
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  // Relaxed I/O counters (see TransportIoStats).
+  std::atomic<std::uint64_t> frames_enqueued_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> frames_dropped_{0};
+  std::atomic<std::uint64_t> frames_delivered_{0};
+  std::atomic<std::uint64_t> write_syscalls_{0};
+  std::atomic<std::uint64_t> read_syscalls_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> connect_attempts_{0};
+};
+
+}  // namespace cmh::net

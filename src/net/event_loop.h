@@ -1,0 +1,117 @@
+// Epoll event loop: the reactor under the TCP transport.
+//
+// One EventLoop owns one epoll instance and one thread.  File descriptors
+// are wrapped in Pollable objects; readiness events and every registry
+// mutation (add / re-arm / destroy) happen exclusively on the loop thread,
+// so Pollable state needs no locking at all.  Other threads talk to the
+// loop only through post(), which enqueues a closure and wakes the loop
+// via an eventfd.
+//
+// Lifetime of a Pollable is airtight against stale events: destroy()
+// removes the fd from epoll and closes it, but the object itself is parked
+// in a graveyard that is cleared only at the top of the next iteration --
+// an event fetched into the same epoll_wait batch as the destroy still
+// finds a live object and sees its `closed` flag.
+//
+// Capability model (DESIGN.md section 7.2): tasks_mutex_ guards the posted
+// task queue (the only cross-thread state); everything else is loop-thread
+// confined and documented with CMH_GUARDED_BY_PROTOCOL.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace cmh::net {
+
+class EventLoop;
+
+/// A file descriptor plus its readiness handler.  Owned by the loop's
+/// registry; every member is touched only on the loop thread.
+class Pollable {
+ public:
+  virtual ~Pollable() = default;
+
+  Pollable(const Pollable&) = delete;
+  Pollable& operator=(const Pollable&) = delete;
+
+  /// Readiness callback (loop thread).  `events` is the raw epoll bit set.
+  virtual void on_events(std::uint32_t events) = 0;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool closed() const { return closed_; }
+
+ protected:
+  explicit Pollable(int fd) : fd_(fd) {}
+
+ private:
+  friend class EventLoop;
+  int fd_;
+  bool closed_{false};  // loop thread only
+};
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Spawns the loop thread.  Call once.
+  void start();
+
+  /// Requests exit, wakes the loop and joins it.  Every fd still in the
+  /// registry is closed on the loop thread before it exits.  Idempotent;
+  /// safe without start().  The object stays valid afterwards so that
+  /// racing post() calls land on a dead-but-alive loop (they are dropped).
+  void stop();
+
+  /// Runs `task` on the loop thread (any thread may call).  Returns false
+  /// when the loop is stopping and the task was discarded.  Tasks still
+  /// queued when the loop exits are run after the registry is closed (they
+  /// observe closed pollables), so a poster blocking on a task's completion
+  /// never hangs.
+  bool post(std::function<void()> task);
+
+  /// True when the caller is the loop thread.
+  [[nodiscard]] bool on_loop_thread() const;
+
+  // ---- loop-thread-only registry operations -------------------------------
+
+  /// Registers `p` with the given epoll interest set and takes ownership.
+  void add(std::shared_ptr<Pollable> p, std::uint32_t events);
+
+  /// Replaces the epoll interest set of a registered pollable.
+  void set_events(Pollable& p, std::uint32_t events);
+
+  /// Deregisters, closes the fd and marks `p` closed.  The object is kept
+  /// alive until the next iteration so stale events in the current batch
+  /// cannot touch freed memory.
+  void destroy(Pollable& p);
+
+ private:
+  void run();
+  void drain_wake() const;
+
+  int epoll_fd_{-1};
+  int wake_fd_{-1};
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+
+  Mutex tasks_mutex_;
+  std::vector<std::function<void()>> tasks_ CMH_GUARDED_BY(tasks_mutex_);
+  bool wake_pending_ CMH_GUARDED_BY(tasks_mutex_){false};
+
+  CMH_GUARDED_BY_PROTOCOL("loop thread only")
+  std::vector<std::shared_ptr<Pollable>> registry_;
+  CMH_GUARDED_BY_PROTOCOL("loop thread only")
+  std::vector<std::shared_ptr<Pollable>> graveyard_;
+};
+
+}  // namespace cmh::net

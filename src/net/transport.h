@@ -19,6 +19,25 @@ namespace cmh::net {
 
 using NodeId = std::uint32_t;
 
+/// Framing bound shared by the socket transports: a length prefix larger
+/// than this is treated as stream corruption and the connection is dropped.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;  // 64 MiB
+
+/// Monotonic I/O counters kept by the socket transports (relaxed atomics;
+/// a snapshot is consistent only in the quiescent state).  `frames_sent`
+/// versus `write_syscalls` is the coalescing ratio the event-loop transport
+/// optimizes: under load one sendmsg() carries many queued frames.
+struct TransportIoStats {
+  std::uint64_t frames_enqueued{0};   ///< accepted by send()
+  std::uint64_t frames_sent{0};       ///< fully handed to the kernel
+  std::uint64_t frames_dropped{0};    ///< lost to connect failure / backoff
+  std::uint64_t frames_delivered{0};  ///< handler invocations completed
+  std::uint64_t write_syscalls{0};    ///< sendmsg()/writev() calls
+  std::uint64_t read_syscalls{0};     ///< recv()/read() calls
+  std::uint64_t bytes_sent{0};        ///< payload + prefix bytes written
+  std::uint64_t connect_attempts{0};  ///< outbound dials (incl. retries)
+};
+
 class Transport {
  public:
   /// Invoked once per delivered message.  For threaded transports the

@@ -1,5 +1,6 @@
 // ThreadedCluster -- hosts BasicProcess instances on a real (threaded)
-// Transport: InMemoryTransport or TcpTransport.
+// Transport: InMemoryTransport, the epoll TcpTransport, or
+// BlockingTcpTransport.
 //
 // Each process is guarded by its own mutex; the transport's per-node
 // delivery serialization plus this mutex give the paper's atomic-step

@@ -199,5 +199,91 @@ TEST(TcpTransport, SetHandlerAfterStartRejected) {
   t.stop();
 }
 
+TEST(TcpTransport, SendBeforeStartRejected) {
+  TcpTransport t;
+  const NodeId a = t.add_node({});
+  const NodeId b = t.add_node({});
+  EXPECT_THROW(t.send(a, b, Bytes{1}), std::logic_error);
+}
+
+TEST(TcpTransport, RestartAfterStopRejected) {
+  TcpTransport t;
+  t.add_node({});
+  t.start();
+  t.stop();
+  EXPECT_THROW(t.start(), std::logic_error);
+}
+
+TEST(TcpTransport, OversizedFrameRejected) {
+  TcpTransport t;
+  const NodeId a = t.add_node({});
+  const NodeId b = t.add_node({});
+  t.start();
+  const Bytes huge(static_cast<std::size_t>(kMaxFrameBytes) + 1);
+  EXPECT_THROW(t.send(a, b, huge), std::length_error);
+  t.stop();
+}
+
+// A dead peer must cost the sender nothing but a counter: frames to it are
+// dropped (synchronously inside the backoff window, asynchronously when a
+// dial fails), redials are rate-limited, and unrelated channels are
+// untouched.
+TEST(TcpTransport, DeadPeerDropsFramesWithCappedRedials) {
+  TcpTransportConfig config;
+  config.reconnect_backoff_initial = std::chrono::milliseconds(50);
+  config.reconnect_backoff_max = std::chrono::milliseconds(200);
+  TcpTransport t(config);
+  Collector c;
+  const NodeId a = t.add_node({});
+  const NodeId b = t.add_node({});
+  const NodeId ok = t.add_node(c.handler());
+  t.start();
+  t.close_listener(b);
+
+  constexpr std::uint64_t kFrames = 12;
+  for (std::uint64_t i = 0; i < kFrames; ++i) t.send(a, b, Bytes{1});
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (t.dropped_frames(a, b) < kFrames &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(t.dropped_frames(a, b), kFrames);
+  const TransportIoStats s = t.io_stats();
+  EXPECT_GE(s.frames_dropped, kFrames);
+  EXPECT_GE(s.connect_attempts, 1u);
+  // Backoff gates redials: nowhere near one dial per dropped frame.
+  EXPECT_LT(s.connect_attempts, kFrames);
+
+  // The healthy channel from the same source is unaffected.
+  t.send(a, ok, Bytes{2});
+  ASSERT_TRUE(c.wait_for(1));
+  EXPECT_EQ(t.dropped_frames(a, ok), 0u);
+  t.stop();
+}
+
+// The enqueue-and-wake design means a burst outruns the flusher and many
+// frames ride in each sendmsg(): strictly fewer write syscalls than frames,
+// and batched reads on the receive side.
+TEST(TcpTransport, BurstsCoalesceFramesIntoFewerSyscalls) {
+  TcpTransportConfig config;
+  config.event_loops = 1;  // exercise the single-loop configuration
+  TcpTransport t(config);
+  Collector c;
+  const NodeId a = t.add_node({});
+  const NodeId b = t.add_node(c.handler());
+  t.start();
+  constexpr std::size_t kFrames = 5000;
+  const Bytes payload(32, 0xcd);
+  for (std::size_t i = 0; i < kFrames; ++i) t.send(a, b, payload);
+  ASSERT_TRUE(c.wait_for(kFrames));
+  const TransportIoStats s = t.io_stats();
+  EXPECT_GE(s.frames_enqueued, kFrames);
+  EXPECT_GE(s.frames_sent, kFrames);  // +1 handshake frame
+  EXPECT_LT(s.write_syscalls, s.frames_sent);
+  EXPECT_LT(s.read_syscalls, s.frames_delivered);
+  EXPECT_EQ(s.frames_dropped, 0u);
+  t.stop();
+}
+
 }  // namespace
 }  // namespace cmh::net

@@ -23,6 +23,11 @@ Rules (each can be silenced on a single line with `// lint:allow(<rule>)`):
                       annotated Mutex / MutexLock / CondVar wrappers so the
                       Clang thread-safety analysis sees every acquisition;
                       a raw std primitive is a hole in the proof.
+  raw-socket-io       direct socket syscalls (::send, ::recv, ::read,
+                      ::write, ::sendmsg, ...) are banned outside src/net/.
+                      Byte transfer goes through the Transport interface;
+                      a stray syscall bypasses framing, the I/O counters
+                      and the event-loop's fd-lifecycle discipline.
 
 All .h/.cpp files under src/, tests/ and bench/ are scanned.
 
@@ -66,8 +71,21 @@ RAW_SYNC_INCLUDE_RE = re.compile(
 # *modeled* resource lock, not thread synchronization.
 MANUAL_LOCK_RE = re.compile(r"(?:\.|->)\s*(?:try_)?(?:un)?lock\s*\(\s*\)")
 
+# Direct socket/file-descriptor I/O syscalls.  The lookbehind keeps
+# qualified C++ names (Simulator::send, Transport::send_probes) out: only a
+# `::` that does NOT follow an identifier is the global-namespace qualifier,
+# and the `\b` after the name rejects ::send_frame-style calls too.
+RAW_SOCKET_IO_RE = re.compile(
+    r"(?<![\w>])::(?:send|sendto|sendmsg|recv|recvfrom|recvmsg"
+    r"|read|write|readv|writev)\s*\("
+)
+
 # The one file allowed to touch the raw primitives (it wraps them).
 SYNC_SHIM = pathlib.PurePosixPath("src/common/sync.h")
+
+# The directories allowed to make socket syscalls (the transport layer and
+# the event loop it runs on).
+NET_DIR = pathlib.PurePosixPath("src/net")
 
 
 def strip_comments(lines: list[str]) -> list[str]:
@@ -119,6 +137,7 @@ class Linter:
         hot_path = HOT_PATH_MARKER in head
         rel = pathlib.PurePosixPath(path.relative_to(self.root).as_posix())
         is_sync_shim = rel == SYNC_SHIM
+        in_net = NET_DIR in rel.parents
 
         if path.suffix == ".h" and not any("#pragma once" in l for l in raw):
             self.report(path, 1, "pragma-once",
@@ -159,6 +178,12 @@ class Linter:
                                 "manual lock()/unlock() call; hold the "
                                 "mutex through a scoped MutexLock instead",
                                 raw_line, prev)
+            if not in_net and RAW_SOCKET_IO_RE.search(code_line):
+                self.report(path, i, "raw-socket-io",
+                            "direct socket syscall outside src/net/; go "
+                            "through the Transport interface (framing, "
+                            "I/O counters, fd lifecycle live there)",
+                            raw_line, prev)
 
 
 def main() -> int:
